@@ -1,0 +1,293 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus microbenchmarks of the substrates. Each
+// table bench regenerates the corresponding experiment (on trimmed inputs
+// where a full run would dominate the suite runtime); cmd/experiments
+// produces the full-size tables with paper-reference columns.
+package contango
+
+import (
+	"io"
+	"testing"
+
+	"contango/internal/analysis"
+	"contango/internal/bench"
+	"contango/internal/buffering"
+	"contango/internal/core"
+	"contango/internal/ctree"
+	"contango/internal/dme"
+	"contango/internal/geom"
+	"contango/internal/route"
+	"contango/internal/slack"
+	"contango/internal/spice"
+	"contango/internal/tech"
+	"contango/internal/viz"
+)
+
+// trimmed returns the named benchmark truncated to at most n sinks, with a
+// proportionally reduced capacitance budget, for bounded bench runtimes.
+func trimmed(name string, n int) *bench.Benchmark {
+	b, err := bench.ISPD09(name)
+	if err != nil {
+		panic(err)
+	}
+	if len(b.Sinks) > n {
+		frac := float64(n) / float64(len(b.Sinks))
+		b.Sinks = b.Sinks[:n]
+		b.CapLimit *= frac
+	}
+	return b
+}
+
+// BenchmarkTableI_InverterAnalysis regenerates the composite inverter
+// characterization (paper Table I) and the non-dominated composite set.
+func BenchmarkTableI_InverterAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tk := tech.Default45()
+		rows := tk.TableI()
+		nd := tk.NonDominatedComposites()
+		if len(rows) != 5 || len(nd) == 0 {
+			b.Fatal("table I generation failed")
+		}
+	}
+}
+
+// BenchmarkTableII_PolarityCorrection runs construction + polarity
+// correction (paper Table II: inverted sinks vs added inverters).
+func BenchmarkTableII_PolarityCorrection(b *testing.B) {
+	bm := trimmed("ispd09f22", 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.SynthesizeBaseline(bm, core.BaselineNoOpt, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.InvertedSinks > 0 && res.AddedInverters >= res.InvertedSinks {
+			b.Fatalf("polarity correction not minimal: %d added for %d inverted",
+				res.AddedInverters, res.InvertedSinks)
+		}
+	}
+}
+
+// BenchmarkTableIII_StageProgress runs the full optimization cascade and
+// checks the paper's stage-progress shape (Table III): wire passes reduce
+// skew from the initial buffered tree.
+func BenchmarkTableIII_StageProgress(b *testing.B) {
+	bm := trimmed("ispd09f22", 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(bm, core.Options{MaxRounds: 6, Cycles: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Final.Skew > res.Stages[0].Metrics.Skew {
+			b.Fatal("cascade failed to reduce skew")
+		}
+	}
+}
+
+// BenchmarkTableIV_ContestComparison runs Contango against a one-shot
+// baseline (paper Table IV's comparison shape).
+func BenchmarkTableIV_ContestComparison(b *testing.B) {
+	bm := trimmed("ispd09f22", 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full, err := core.Synthesize(bm, core.Options{MaxRounds: 6, Cycles: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := core.SynthesizeBaseline(bm, core.BaselineGreedy, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full.Final.Skew > base.Final.Skew {
+			b.Fatal("optimized flow lost to the greedy baseline")
+		}
+	}
+}
+
+// BenchmarkTableV_Scalability runs the TI-style scaling protocol at one
+// size (paper Table V).
+func BenchmarkTableV_Scalability(b *testing.B) {
+	pool := bench.NewTIPool()
+	bm := pool.Sample(200, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(bm, core.Options{LargeInverters: true, MaxRounds: 6, Cycles: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Final.TotalCap <= 0 {
+			b.Fatal("no capacitance measured")
+		}
+	}
+}
+
+// BenchmarkFigure2_ContourDetour exercises the obstacle detouring algorithm
+// on an enclosed-subtree scenario (paper Figure 2).
+func BenchmarkFigure2_ContourDetour(b *testing.B) {
+	tk := tech.Default45()
+	die := geom.NewRect(0, 0, 4000, 4000)
+	obs := geom.NewObstacleSet([]geom.Obstacle{
+		{Rect: geom.NewRect(1500, 1500, 2500, 2500)},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := buildEnclosed(tk)
+		rep, err := route.Legalize(tr, obs, die, route.Options{SafeCap: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Detours == 0 {
+			b.Fatal("expected a contour detour")
+		}
+	}
+}
+
+func buildEnclosed(tk *tech.Tech) *ctree.Tree {
+	tr := ctree.New(tk, geom.Pt(0, 2000), 0.1)
+	hub := tr.AddChild(tr.Root, ctree.Internal, geom.Pt(2000, 2000))
+	for _, l := range []geom.Point{{X: 3000, Y: 2000}, {X: 2000, Y: 3000}, {X: 2000, Y: 1000}} {
+		c := tr.AddChild(hub, ctree.Internal, l)
+		for k := 0; k < 8; k++ {
+			tr.AddSink(c, geom.Pt(l.X+float64(30*k), l.Y+100), 40, "")
+		}
+	}
+	return tr
+}
+
+// BenchmarkFigure3_Render renders a synthesized tree with the slack
+// gradient (paper Figure 3).
+func BenchmarkFigure3_Render(b *testing.B) {
+	bm := trimmed("ispd09f22", 40)
+	res, err := core.SynthesizeBaseline(bm, core.BaselineNoOpt, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := spice.New()
+	var rs []*analysis.Result
+	for _, c := range res.Tree.Tech.Corners {
+		r, err := eng.Evaluate(res.Tree, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs = append(rs, r)
+	}
+	slk := slack.Compute(res.Tree, rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := viz.WriteSVG(io.Discard, res.Tree, viz.Options{
+			Slacks: slk, Obstacles: bm.Obstacles, Die: bm.Die,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_CompositeBuffers compares the contest configuration
+// (8x-small batches) against the TI configuration (large groups) — the
+// paper's Section V runtime/quality trade.
+func BenchmarkAblation_CompositeBuffers(b *testing.B) {
+	pool := bench.NewTIPool()
+	bm := pool.Sample(200, 7)
+	for _, mode := range []struct {
+		name  string
+		large bool
+	}{{"small8x", false}, {"largeGroups", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.SynthesizeBaseline(bm, core.BaselineNoOpt,
+					core.Options{LargeInverters: mode.large})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_InsertionModes compares balanced load-threshold
+// insertion against the van Ginneken DP (a design choice DESIGN.md calls
+// out).
+func BenchmarkAblation_InsertionModes(b *testing.B) {
+	bm := trimmed("ispd09f22", 60)
+	tk := tech.Default45()
+	comp := tech.Composite{Type: tk.Inverters[1], N: 8}
+	for _, mode := range []string{"balanced", "vg"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := dme.BuildZST(tk, bm.Source, bm.Sinks, dme.Options{})
+				tr.SourceR = bm.SourceR
+				var err error
+				if mode == "vg" {
+					_, err = buffering.Insert(tr, comp, buffering.Options{})
+				} else {
+					_, err = buffering.BalancedInsert(tr, comp, buffering.Options{})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+func BenchmarkDME_ZST1000(b *testing.B) {
+	pool := bench.NewTIPool()
+	bm := pool.Sample(1000, 3)
+	tk := tech.Default45()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := dme.BuildZST(tk, bm.Source, bm.Sinks, dme.Options{})
+		if tr.NumNodes() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkTransientEvaluate(b *testing.B) {
+	bm := trimmed("ispd09f22", 60)
+	res, err := core.SynthesizeBaseline(bm, core.BaselineNoOpt, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := spice.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(res.Tree, res.Tree.Tech.Corners[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElmoreEvaluate(b *testing.B) {
+	bm := trimmed("ispd09f22", 60)
+	res, err := core.SynthesizeBaseline(bm, core.BaselineNoOpt, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &analysis.Elmore{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(res.Tree, res.Tree.Tech.Corners[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMazeRoute(b *testing.B) {
+	die := geom.NewRect(0, 0, 10000, 10000)
+	obs := geom.NewObstacleSet([]geom.Obstacle{
+		{Rect: geom.NewRect(3000, 0, 4000, 8000)},
+		{Rect: geom.NewRect(6000, 2000, 7000, 10000)},
+	})
+	m := geom.NewMaze(die, 50, obs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Route(geom.Pt(100, 5000), geom.Pt(9900, 5000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command benchgen writes synthetic benchmarks in the library's text format:
+// the ISPD'09-style contest suite or samples of the TI-style 135K-sink pool.
+//
+//	benchgen -out bench/                 # the seven contest benchmarks
+//	benchgen -ti 5000 -seed 3 -out bench # one TI sample with 5000 sinks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"contango/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	ti := flag.Int("ti", 0, "generate a TI-style sample with this many sinks instead of the contest suite")
+	seed := flag.Int64("seed", 1, "sampling seed for TI mode")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	write := func(b *bench.Benchmark) {
+		path := filepath.Join(*out, b.Name+".cns")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.Write(f, b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d sinks, %d obstacles)\n", path, len(b.Sinks), len(b.Obstacles))
+	}
+	if *ti > 0 {
+		pool := bench.NewTIPool()
+		write(pool.Sample(*ti, *seed))
+		return
+	}
+	for _, b := range bench.ISPD09Suite() {
+		write(b)
+	}
+}

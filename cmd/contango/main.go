@@ -1,0 +1,62 @@
+// Command contango runs the Contango clock-network synthesis flow on a named
+// synthetic benchmark or a benchmark file and prints per-stage metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contango/internal/bench"
+	"contango/internal/core"
+)
+
+func main() {
+	name := flag.String("bench", "ispd09f22", "named benchmark (ispd09f11..fnb1) or path to a .cns file")
+	verbose := flag.Bool("v", false, "log flow progress")
+	fast := flag.Bool("fast", false, "coarser simulation settings for large instances")
+	large := flag.Bool("large-inverters", false, "use groups of large inverters (TI mode)")
+	svg := flag.String("svg", "", "write the final tree as SVG to this path")
+	flag.Parse()
+
+	b, err := loadBench(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt := core.Options{FastSim: *fast, LargeInverters: *large}
+	if *verbose {
+		opt.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	res, err := core.Synthesize(b, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark %s: %d sinks, %d buffers (%v), %d simulator runs, %v\n",
+		b.Name, len(b.Sinks), res.Buffers, res.Composite, res.Runs, res.Elapsed.Round(1e6))
+	fmt.Printf("legalization: %v\n", res.Legalization)
+	fmt.Printf("polarity: %d inverted sinks -> %d added inverters\n", res.InvertedSinks, res.AddedInverters)
+	for _, s := range res.Stages {
+		fmt.Printf("%-8s %s\n", s.Name, s.Metrics)
+	}
+	if *svg != "" {
+		if err := writeSVG(res, *svg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+}
+
+func loadBench(name string) (*bench.Benchmark, error) {
+	if b, err := bench.ISPD09(name); err == nil {
+		return b, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("not a named benchmark and cannot open file: %w", err)
+	}
+	defer f.Close()
+	return bench.Read(f)
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"os"
+
+	"contango"
+	"contango/internal/core"
+)
+
+// writeSVG renders the final tree with the paper's Figure 3 styling.
+func writeSVG(res *core.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return contango.RenderSVG(f, res)
+}

@@ -1,0 +1,102 @@
+// Package contango is a clock-tree synthesizer for SoCs: a Go reproduction
+// of "CONTANGO: Integrated Optimization of SoC Clock Networks" (Dongjin Lee
+// and Igor L. Markov, DATE 2010).
+//
+// The flow builds a zero-skew DME tree over the clock sinks, repairs
+// obstacle violations (rerouting and contour detours), inserts composite
+// inverters within a capacitance budget, corrects sink polarity with the
+// paper's provably-minimal algorithm, and then runs a cascade of
+// accurate-simulation-driven optimizations — buffer sizing, wiresizing,
+// wiresnaking and bottom-level fine-tuning — until skew and clock latency
+// range stop improving.
+//
+// Quick start:
+//
+//	b, _ := contango.Benchmark("ispd09f22")
+//	res, err := contango.Synthesize(b, contango.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Final) // skew, CLR, latency, slew, capacitance
+//
+// The library is self-contained: it includes its own technology model
+// (tech), RC netlist extraction and closed-form evaluators (analysis), a
+// transient circuit simulator standing in for SPICE (spice), synthetic
+// reconstructions of the ISPD'09 contest and Texas Instruments benchmark
+// suites (bench), and an SVG renderer (viz). See DESIGN.md for the full
+// inventory and EXPERIMENTS.md for the reproduction results.
+package contango
+
+import (
+	"io"
+
+	"contango/internal/analysis"
+	"contango/internal/bench"
+	"contango/internal/core"
+	"contango/internal/eval"
+	"contango/internal/slack"
+	"contango/internal/spice"
+	"contango/internal/viz"
+)
+
+// Options re-exports the flow configuration. The zero value gives the
+// paper's contest setup: 45 nm technology, batches of 8 small inverters,
+// 10% capacitance reserve, transient-checked optimization rounds.
+type Options = core.Options
+
+// Result is the outcome of a synthesis run, including the final tree,
+// per-stage metric records (the paper's Table III rows) and counters.
+type Result = core.Result
+
+// Metrics bundles skew, clock latency range, latency, slew and capacitance.
+type Metrics = eval.Metrics
+
+// Benchmark returns a named synthetic benchmark: one of the ISPD'09 suite
+// ("ispd09f11" … "ispd09fnb1").
+func Benchmark(name string) (*bench.Benchmark, error) { return bench.ISPD09(name) }
+
+// BenchmarkNames lists the ISPD'09-style suite in order.
+func BenchmarkNames() []string { return bench.ISPD09Names() }
+
+// ReadBenchmark parses a benchmark from the library's text format.
+func ReadBenchmark(r io.Reader) (*bench.Benchmark, error) { return bench.Read(r) }
+
+// WriteBenchmark serializes a benchmark to the library's text format.
+func WriteBenchmark(w io.Writer, b *bench.Benchmark) error { return bench.Write(w, b) }
+
+// Synthesize runs the full Contango flow on a benchmark.
+func Synthesize(b *bench.Benchmark, o Options) (*Result, error) { return core.Synthesize(b, o) }
+
+// BaselineKind selects a contest-style comparison flow.
+type BaselineKind = core.BaselineKind
+
+// Baseline flow kinds (see core documentation).
+const (
+	BaselineNoOpt  = core.BaselineNoOpt
+	BaselineGreedy = core.BaselineGreedy
+	BaselineBST    = core.BaselineBST
+)
+
+// SynthesizeBaseline runs a one-shot baseline flow (no optimization
+// cascade), used for Table IV-style comparisons.
+func SynthesizeBaseline(b *bench.Benchmark, kind BaselineKind, o Options) (*Result, error) {
+	return core.SynthesizeBaseline(b, kind, o)
+}
+
+// RenderSVG writes the result's clock tree as an SVG in the style of the
+// paper's Figure 3, with wires colored by slow-down slack.
+func RenderSVG(w io.Writer, res *Result) error {
+	eng := spice.New()
+	var rs []*analysis.Result
+	for _, c := range res.Tree.Tech.Corners {
+		r, err := eng.Evaluate(res.Tree, c)
+		if err != nil {
+			return err
+		}
+		rs = append(rs, r)
+	}
+	slk := slack.Compute(res.Tree, rs)
+	return viz.WriteSVG(w, res.Tree, viz.Options{
+		Slacks:    slk,
+		Obstacles: res.Benchmark.Obstacles,
+		Die:       res.Benchmark.Die,
+	})
+}

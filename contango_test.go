@@ -1,0 +1,72 @@
+package contango
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkRegistry(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 7 {
+		t.Fatalf("suite size %d want 7", len(names))
+	}
+	for _, n := range names {
+		b, err := Benchmark(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if len(b.Sinks) == 0 {
+			t.Fatalf("%s: no sinks", n)
+		}
+	}
+	if _, err := Benchmark("not-a-benchmark"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestBenchmarkRoundTripThroughPublicAPI(t *testing.T) {
+	b, _ := Benchmark("ispd09f22")
+	var buf bytes.Buffer
+	if err := WriteBenchmark(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchmark(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != b.Name || len(got.Sinks) != len(b.Sinks) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestPublicSynthesizeAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow in short mode")
+	}
+	b, _ := Benchmark("ispd09f22")
+	// Keep the sink set small for test runtime.
+	b.Sinks = b.Sinks[:24]
+	res, err := Synthesize(b, Options{MaxRounds: 3, Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Skew >= res.Stages[0].Metrics.Skew+1e-9 {
+		t.Errorf("no improvement: %v -> %v", res.Stages[0].Metrics.Skew, res.Final.Skew)
+	}
+	var svg bytes.Buffer
+	if err := RenderSVG(&svg, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "</svg>") {
+		t.Error("invalid SVG output")
+	}
+
+	base, err := SynthesizeBaseline(b, BaselineGreedy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Final.Skew < res.Final.Skew {
+		t.Errorf("greedy baseline (%v) beat the full flow (%v)", base.Final.Skew, res.Final.Skew)
+	}
+}

@@ -1,0 +1,71 @@
+// SoC example: a die dominated by pre-designed macros, exercising the
+// paper's obstacle machinery — L-shape flips, maze rerouting and the
+// contour detour of Figure 2 — and rendering the result like Figure 3
+// (wires colored by slow-down slack, sinks as crosses, buffers as boxes).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"contango"
+	"contango/internal/bench"
+	"contango/internal/dme"
+	"contango/internal/geom"
+)
+
+func main() {
+	// A 6x6 mm SoC with three macros, one pair abutting into a compound
+	// obstacle, and register clusters around them.
+	b := &bench.Benchmark{
+		Name:    "soc-demo",
+		Die:     geom.NewRect(0, 0, 6000, 6000),
+		Source:  geom.Pt(0, 3000),
+		SourceR: 0.1,
+		Obstacles: []geom.Obstacle{
+			{Rect: geom.NewRect(1500, 1500, 3200, 3000), Name: "cpu"},
+			{Rect: geom.NewRect(3200, 1500, 4200, 2500), Name: "l2"}, // abuts cpu
+			{Rect: geom.NewRect(1200, 4200, 2600, 5400), Name: "dsp"},
+		},
+	}
+	obs := geom.NewObstacleSet(b.Obstacles)
+	fmt.Printf("%d obstacles form %d compounds (abutting macros merge)\n",
+		obs.Len(), len(obs.Compounds))
+
+	clusters := []geom.Point{
+		{X: 800, Y: 800}, {X: 5000, Y: 1000}, {X: 5200, Y: 4800},
+		{X: 3500, Y: 5300}, {X: 4700, Y: 3000}, {X: 700, Y: 2500},
+	}
+	id := 0
+	for _, c := range clusters {
+		for dx := -200.0; dx <= 200; dx += 100 {
+			for dy := -150.0; dy <= 150; dy += 150 {
+				p := geom.Pt(c.X+dx, c.Y+dy)
+				if b.Die.Contains(p) && !obs.BlocksPoint(p) {
+					b.Sinks = append(b.Sinks, dme.Sink{
+						Loc: p, Cap: 30, Name: fmt.Sprintf("ff%d", id)})
+					id++
+				}
+			}
+		}
+	}
+	b.CapLimit = 90000
+
+	res, err := contango.Synthesize(b, contango.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legalization: %v\n", res.Legalization)
+	fmt.Printf("final: %s\n", res.Final)
+
+	f, err := os.Create("soc-demo.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := contango.RenderSVG(f, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote soc-demo.svg (Figure 3 styling: red = critical, green = slack)")
+}

@@ -1,0 +1,175 @@
+// Package analysis extracts RC netlists from clock trees and provides fast
+// closed-form delay evaluators: Elmore (first moment) and a two-pole
+// moment-matching model (D2M), in the spirit of the Arnoldi/AWE reduced-order
+// evaluators the paper lists as SPICE alternatives. The accurate transient
+// engine lives in package spice and shares the netlist extraction here.
+package analysis
+
+import (
+	"math"
+
+	"contango/internal/ctree"
+	"contango/internal/tech"
+)
+
+// DefaultMaxSeg is the default maximum RC-segment length (µm). Long wires
+// are subdivided into π-segments no longer than this so that resistive
+// shielding in long wires — which the paper notes closed-form models miss —
+// is captured by the distributed model.
+const DefaultMaxSeg = 100.0
+
+// minR is the smallest segment resistance (kΩ); zero-length edges are
+// clamped so transient integration stays well-conditioned.
+const minR = 1e-9
+
+// Load marks a stage-boundary node: the input pin of a downstream buffer.
+type Load struct {
+	Node int         // RC node index within the stage
+	Buf  *ctree.Node // the buffer whose input sits here
+}
+
+// Meas marks a sink measurement node.
+type Meas struct {
+	Node int
+	Sink *ctree.Node
+}
+
+// Stage is one driver (the clock source or a buffer) plus the RC tree it
+// drives, ending at sink pins and downstream buffer inputs. RC nodes are
+// stored in parent-before-child order; node 0 is the driver output, and
+// R[0] is a placeholder (the driver is modeled separately by evaluators).
+type Stage struct {
+	Driver *ctree.Node // nil for the source stage
+	Index  int         // position in Net.Stages
+	Parent int         // index of the upstream stage, -1 for the source stage
+	// InputNode is the RC node (in the parent stage) where this stage's
+	// driver input pin sits; -1 for the source stage.
+	InputNode int
+
+	R        []float64 // resistance to parent RC node, kΩ
+	C        []float64 // grounded capacitance, fF
+	Par      []int     // parent RC node index, -1 for node 0
+	Loads    []Load
+	Sinks    []Meas
+	Children []int // downstream stage indices
+}
+
+// TotalCap returns the sum of grounded capacitance in the stage (fF),
+// including buffer input pins and sink loads attached to it.
+func (s *Stage) TotalCap() float64 {
+	var c float64
+	for _, v := range s.C {
+		c += v
+	}
+	return c
+}
+
+// Net is the staged RC netlist of a clock tree.
+type Net struct {
+	Tree   *ctree.Tree
+	Stages []*Stage // topologically ordered, Stages[0] is the source stage
+}
+
+// Extract builds the staged RC netlist for tr, subdividing wires into
+// π-segments of at most maxSeg µm (DefaultMaxSeg when maxSeg <= 0).
+func Extract(tr *ctree.Tree, maxSeg float64) *Net {
+	if maxSeg <= 0 {
+		maxSeg = DefaultMaxSeg
+	}
+	net := &Net{Tree: tr}
+
+	newStage := func(driver *ctree.Node, parentStage, inputNode int) *Stage {
+		s := &Stage{
+			Driver:    driver,
+			Index:     len(net.Stages),
+			Parent:    parentStage,
+			InputNode: inputNode,
+		}
+		rootCap := 0.0
+		if driver != nil {
+			rootCap = driver.Buf.Cout()
+		}
+		s.R = append(s.R, 0)
+		s.C = append(s.C, rootCap)
+		s.Par = append(s.Par, -1)
+		net.Stages = append(net.Stages, s)
+		if parentStage >= 0 {
+			net.Stages[parentStage].Children = append(net.Stages[parentStage].Children, s.Index)
+		}
+		return s
+	}
+
+	// addEdge subdivides the wire of tree node n (edge parent->n) into the
+	// stage, starting at RC node 'at', and returns the far-end RC node.
+	addEdge := func(s *Stage, n *ctree.Node, at int) int {
+		length := n.EdgeLen()
+		w := tr.Tech.Wires[n.WidthIdx]
+		rTot := w.RPerUm * length
+		cTot := w.CPerUm * length
+		k := int(math.Ceil(length / maxSeg))
+		if k < 1 {
+			k = 1
+		}
+		rSeg := rTot / float64(k)
+		if rSeg < minR {
+			rSeg = minR
+		}
+		cHalf := cTot / float64(k) / 2
+		cur := at
+		for i := 0; i < k; i++ {
+			s.C[cur] += cHalf
+			s.R = append(s.R, rSeg)
+			s.C = append(s.C, cHalf)
+			s.Par = append(s.Par, cur)
+			cur = len(s.R) - 1
+		}
+		return cur
+	}
+
+	var walk func(s *Stage, n *ctree.Node, at int)
+	walk = func(s *Stage, n *ctree.Node, at int) {
+		for _, c := range n.Children {
+			far := addEdge(s, c, at)
+			switch c.Kind {
+			case ctree.Buffer:
+				s.C[far] += c.Buf.Cin()
+				s.Loads = append(s.Loads, Load{Node: far, Buf: c})
+				sub := newStage(c, s.Index, far)
+				walk(sub, c, 0)
+			case ctree.Sink:
+				s.C[far] += c.SinkCap
+				s.Sinks = append(s.Sinks, Meas{Node: far, Sink: c})
+			default:
+				walk(s, c, far)
+			}
+		}
+	}
+
+	src := newStage(nil, -1, -1)
+	walk(src, tr.Root, 0)
+	return net
+}
+
+// DriverR returns the effective driver resistance (kΩ) of stage s at the
+// given corner. The source driver and buffer composites weaken identically
+// as supply drops (reduced gate overdrive).
+func (net *Net) DriverR(s *Stage, corner tech.Corner) float64 {
+	t := net.Tree.Tech
+	scale := (t.VddRef - t.Vt) / (corner.Vdd - t.Vt)
+	if corner.Vdd <= t.Vt {
+		return 1e12
+	}
+	if s.Driver == nil {
+		return net.Tree.SourceR * scale
+	}
+	return t.RoutAt(*s.Driver.Buf, corner.Vdd)
+}
+
+// NumRCNodes returns the total RC node count across all stages.
+func (net *Net) NumRCNodes() int {
+	n := 0
+	for _, s := range net.Stages {
+		n += len(s.R)
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"contango/internal/ctree"
+	"contango/internal/tech"
+)
+
+// Offset is a calibrated hybrid evaluator: a cheap base model (usually
+// Elmore) plus frozen per-sink corrections measured against an accurate
+// reference (the transient engine). Between calibrations the hybrid tracks
+// topology and wire edits through the base model while retaining the
+// reference's absolute accuracy at the calibration point — the classic
+// trick for keeping SPICE invocations per optimization round at O(1)
+// (the paper's CNE/IVC loop with "SPICE runs, Arnoldi approximation, or any
+// other available timing analysis tool/model").
+//
+// Calibration error re-enters only through edits made after the last
+// Calibrate call, so alternating cheap optimization rounds with sparse
+// recalibrations converges like a quasi-Newton iteration.
+type Offset struct {
+	Base Evaluator
+
+	shifts map[string]*shift // keyed by corner name
+}
+
+type shift struct {
+	dRise, dFall map[int]float64
+	// Slew corrections are multiplicative: cheap models misestimate slews
+	// by a roughly constant factor, so a ratio calibrates out the scale
+	// error where an additive delta would not.
+	rSlew map[int]float64
+	rMax  float64
+}
+
+// NewOffset wraps base with zero corrections.
+func NewOffset(base Evaluator) *Offset {
+	return &Offset{Base: base, shifts: map[string]*shift{}}
+}
+
+// Name implements Evaluator.
+func (o *Offset) Name() string { return "offset(" + o.Base.Name() + ")" }
+
+// Calibrate measures the reference evaluator at every corner of the tree's
+// technology and stores per-sink corrections. It returns the reference
+// results so callers can reuse them (e.g., to record honest metrics without
+// extra reference runs).
+func (o *Offset) Calibrate(tr *ctree.Tree, ref Evaluator) ([]*Result, error) {
+	var out []*Result
+	for _, c := range tr.Tech.Corners {
+		refRes, err := ref.Evaluate(tr, c)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := o.Base.Evaluate(tr, c)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shift{
+			dRise: map[int]float64{},
+			dFall: map[int]float64{},
+			rSlew: map[int]float64{},
+			rMax:  1,
+		}
+		if baseRes.MaxSlew > 1e-9 {
+			sh.rMax = refRes.MaxSlew / baseRes.MaxSlew
+		}
+		for id, v := range refRes.Rise {
+			sh.dRise[id] = v - baseRes.Rise[id]
+		}
+		for id, v := range refRes.Fall {
+			sh.dFall[id] = v - baseRes.Fall[id]
+		}
+		for id, v := range refRes.SinkSlew {
+			if b := baseRes.SinkSlew[id]; b > 1e-9 {
+				sh.rSlew[id] = v / b
+			} else {
+				sh.rSlew[id] = 1
+			}
+		}
+		o.shifts[c.Name] = sh
+		out = append(out, refRes)
+	}
+	return out, nil
+}
+
+// Evaluate implements Evaluator: base model plus frozen corrections.
+func (o *Offset) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Result, error) {
+	res, err := o.Base.Evaluate(tr, corner)
+	if err != nil {
+		return nil, err
+	}
+	sh := o.shifts[corner.Name]
+	if sh == nil {
+		return res, nil
+	}
+	limit := tr.Tech.SlewLimit
+	out := &Result{
+		Corner:   corner,
+		Rise:     make(map[int]float64, len(res.Rise)),
+		Fall:     make(map[int]float64, len(res.Fall)),
+		SinkSlew: make(map[int]float64, len(res.SinkSlew)),
+		MaxSlew:  res.MaxSlew * sh.rMax,
+	}
+	for id, v := range res.Rise {
+		out.Rise[id] = v + sh.dRise[id]
+	}
+	for id, v := range res.Fall {
+		out.Fall[id] = v + sh.dFall[id]
+	}
+	out.StageSlew = make(map[int]float64, len(res.StageSlew))
+	for id, v := range res.StageSlew {
+		out.StageSlew[id] = v * sh.rMax
+	}
+	viol := 0
+	for id, v := range res.SinkSlew {
+		r, ok := sh.rSlew[id]
+		if !ok {
+			r = 1
+		}
+		s := v * r
+		out.SinkSlew[id] = s
+		if s > limit {
+			viol++
+		}
+	}
+	if out.MaxSlew > limit {
+		viol++
+	}
+	out.SlewViol = viol
+	return out, nil
+}
+
+var _ Evaluator = (*Offset)(nil)

@@ -1,0 +1,226 @@
+// Package bench provides the benchmark suites the paper evaluates on. The
+// original ISPD'09 CNS contest files and the Texas Instruments chip are not
+// redistributable, so this package generates synthetic equivalents with the
+// published statistics: the contest's seven benchmarks with their sink
+// counts, die sizes and placement blockages, and a TI-style 135K-location
+// sink pool on a 4.2×3.0 mm die sampled down to 200…50K sinks (Table V's
+// protocol). Generation is deterministic per benchmark name.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"contango/internal/dme"
+	"contango/internal/geom"
+)
+
+// Benchmark is one clock-network synthesis instance.
+type Benchmark struct {
+	Name      string
+	Die       geom.Rect
+	Source    geom.Point
+	SourceR   float64 // clock source output resistance, kΩ
+	Sinks     []dme.Sink
+	Obstacles []geom.Obstacle
+	// CapLimit is the total wire+buffer capacitance budget, fF.
+	CapLimit float64
+}
+
+// ispdSpec describes one synthetic contest benchmark.
+type ispdSpec struct {
+	name      string
+	dieUm     float64 // square die edge, µm
+	sinks     int
+	obstacles int
+	clusters  int
+	seed      int64
+}
+
+// The published sink counts of the ISPD'09 CNS suite with plausible die
+// sizes (the contest chips were up to 17×17 mm).
+var ispdSpecs = []ispdSpec{
+	{"ispd09f11", 16000, 121, 0, 4, 11},
+	{"ispd09f12", 16000, 117, 0, 4, 12},
+	{"ispd09f21", 17000, 117, 4, 5, 21},
+	{"ispd09f22", 12000, 91, 3, 4, 22},
+	{"ispd09f31", 17000, 273, 8, 7, 31},
+	{"ispd09f32", 14000, 190, 6, 6, 32},
+	{"ispd09fnb1", 8000, 330, 2, 9, 41},
+}
+
+// ISPD09Names returns the benchmark names in suite order.
+func ISPD09Names() []string {
+	out := make([]string, len(ispdSpecs))
+	for i, s := range ispdSpecs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// ISPD09 generates the named synthetic contest benchmark. Unknown names
+// return an error.
+func ISPD09(name string) (*Benchmark, error) {
+	for _, s := range ispdSpecs {
+		if s.name == name {
+			return genISPD(s), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown ISPD'09 benchmark %q", name)
+}
+
+// ISPD09Suite generates all seven benchmarks.
+func ISPD09Suite() []*Benchmark {
+	out := make([]*Benchmark, len(ispdSpecs))
+	for i, s := range ispdSpecs {
+		out[i] = genISPD(s)
+	}
+	return out
+}
+
+func genISPD(spec ispdSpec) *Benchmark {
+	rng := rand.New(rand.NewSource(spec.seed))
+	die := geom.NewRect(0, 0, spec.dieUm, spec.dieUm)
+	b := &Benchmark{
+		Name:    spec.name,
+		Die:     die,
+		Source:  geom.Pt(0, spec.dieUm/2), // clock enters at the die boundary
+		SourceR: 0.1,
+	}
+	// Obstacles: macros covering 8-20% of the die edge each; make one pair
+	// abut so compound handling is exercised on the f31-style benchmarks.
+	for len(b.Obstacles) < spec.obstacles {
+		w := (0.08 + 0.12*rng.Float64()) * spec.dieUm
+		h := (0.08 + 0.12*rng.Float64()) * spec.dieUm
+		x := rng.Float64() * (spec.dieUm - w)
+		y := rng.Float64() * (spec.dieUm - h)
+		r := geom.NewRect(x, y, x+w, y+h)
+		if r.Inflate(200).Contains(b.Source) {
+			continue
+		}
+		b.Obstacles = append(b.Obstacles, geom.Obstacle{
+			Rect: r, Name: fmt.Sprintf("macro%d", len(b.Obstacles)),
+		})
+		if len(b.Obstacles) == 1 && spec.obstacles >= 4 {
+			// Abutting companion block.
+			w2 := w * 0.6
+			b.Obstacles = append(b.Obstacles, geom.Obstacle{
+				Rect: geom.NewRect(r.MaxX, r.MinY, r.MaxX+w2, r.MinY+h*0.7),
+				Name: "macro-abut",
+			})
+		}
+	}
+	obs := geom.NewObstacleSet(b.Obstacles)
+
+	// Sinks: clustered placement (register banks) plus uniform background,
+	// never inside obstacles.
+	centers := make([]geom.Point, spec.clusters)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*spec.dieUm, rng.Float64()*spec.dieUm)
+	}
+	for len(b.Sinks) < spec.sinks {
+		var p geom.Point
+		if rng.Float64() < 0.7 {
+			c := centers[rng.Intn(len(centers))]
+			p = geom.Pt(
+				c.X+rng.NormFloat64()*spec.dieUm/12,
+				c.Y+rng.NormFloat64()*spec.dieUm/12,
+			)
+		} else {
+			p = geom.Pt(rng.Float64()*spec.dieUm, rng.Float64()*spec.dieUm)
+		}
+		if !die.Contains(p) || obs.BlocksPoint(p) {
+			continue
+		}
+		b.Sinks = append(b.Sinks, dme.Sink{
+			Loc:  p,
+			Cap:  20 + rng.Float64()*30,
+			Name: fmt.Sprintf("s%d", len(b.Sinks)),
+		})
+	}
+	b.CapLimit = estimateCapLimit(b)
+	return b
+}
+
+// estimateCapLimit sets the benchmark's capacitance budget the way the
+// contest did: generous enough for a buffered tree, tight enough that
+// careless snaking overruns it. We budget 2.6× the wire capacitance of a
+// half-perimeter-scaled Steiner estimate plus per-sink buffering overhead.
+func estimateCapLimit(b *Benchmark) float64 {
+	// Classic Steiner length estimate: 0.75·sqrt(n·A).
+	n := float64(len(b.Sinks))
+	area := b.Die.Area()
+	wl := 0.75 * sqrt(n*area)
+	wireCapPerUm := 0.3 // widest wire
+	perSink := 180.0    // buffering overhead per sink, fF (composites + polarity)
+	return 2.6*wl*wireCapPerUm + perSink*n
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty for budget estimation.
+	g := x
+	for i := 0; i < 40; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// TIPool is the synthetic stand-in for the paper's Texas Instruments chip:
+// a 4.2×3.0 mm die holding 135K candidate sink locations arranged in
+// clustered register rows.
+type TIPool struct {
+	Die    geom.Rect
+	Source geom.Point
+	Locs   []geom.Point
+}
+
+// NewTIPool generates the 135K-location pool (deterministic).
+func NewTIPool() *TIPool {
+	const nLocs = 135000
+	die := geom.NewRect(0, 0, 4200, 3000)
+	rng := rand.New(rand.NewSource(777))
+	p := &TIPool{Die: die, Source: geom.Pt(0, 1500)}
+	// Register rows: horizontal bands with clustered fill.
+	const rows = 60
+	for len(p.Locs) < nLocs {
+		row := rng.Intn(rows)
+		y := die.MinY + (float64(row)+0.5)*die.H()/rows + rng.NormFloat64()*4
+		x := die.MinX + rng.Float64()*die.W()
+		// Band occupancy varies by region to mimic macro-dominated zones.
+		if rng.Float64() < 0.25 && x > 1000 && x < 2000 && y > 800 && y < 1800 {
+			continue
+		}
+		if !die.Contains(geom.Pt(x, y)) {
+			continue
+		}
+		p.Locs = append(p.Locs, geom.Pt(x, y))
+	}
+	return p
+}
+
+// Sample draws n sinks uniformly from the pool (deterministic per seed) and
+// wraps them in a benchmark, mirroring the paper's Table V protocol.
+func (p *TIPool) Sample(n int, seed int64) *Benchmark {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(p.Locs))[:n]
+	sort.Ints(idx)
+	b := &Benchmark{
+		Name:    fmt.Sprintf("ti-%d", n),
+		Die:     p.Die,
+		Source:  p.Source,
+		SourceR: 0.1,
+	}
+	for i, id := range idx {
+		b.Sinks = append(b.Sinks, dme.Sink{
+			Loc:  p.Locs[id],
+			Cap:  1.5 + rng.Float64()*2, // small flop clock pins
+			Name: fmt.Sprintf("ff%d", i),
+		})
+	}
+	b.CapLimit = estimateCapLimit(b)
+	return b
+}

@@ -1,0 +1,218 @@
+package buffering
+
+import (
+	"sort"
+
+	"contango/internal/ctree"
+	"contango/internal/tech"
+)
+
+// BalancedInsert places buffers bottom-up by load threshold: walking from
+// the sinks toward the root, a buffer is inserted whenever the unbuffered
+// load a driver would have to carry reaches a fraction of the slew-safe
+// capacitance. On an Elmore-balanced ZST this yields nearly identical
+// buffer counts on every source-to-sink path — the property the paper
+// relies on for low post-insertion skew ("source-to-sink paths contain
+// practically the same numbers of buffers", Section IV-C) — and it is the
+// flow's default insertion mode. The van Ginneken DP (Insert) minimizes
+// worst delay more aggressively and is kept for comparison and ablation.
+//
+// Fill controls how much of the safe load a stage may carry (default 0.35).
+// The deliberately deep margin leaves slew headroom that the snaking and
+// sizing passes spend later; the slow corner and slew compounding through
+// chains consume their share as well.
+func BalancedInsert(tr *ctree.Tree, comp tech.Composite, opt Options) (int, error) {
+	opt.defaults()
+	maxCap := opt.MaxCap
+	if maxCap == 0 {
+		maxCap = SafeLoad(tr.Tech, comp)
+	}
+	threshold := 0.35 * maxCap
+	if threshold <= comp.Cin() {
+		threshold = comp.Cin() * 2
+	}
+	added := 0
+
+	// process returns the unbuffered load at the TOP of n's parent edge
+	// after placing any buffers this subtree needs, together with the node
+	// that now sits directly under the edge top (the last inserted buffer,
+	// or n itself) so that callers can decouple the corridor at the merge.
+	// The returned load never exceeds the threshold except at unrepairable
+	// merges (inside obstacles).
+	var process func(n *ctree.Node) (float64, *ctree.Node)
+	process = func(n *ctree.Node) (float64, *ctree.Node) {
+		load := 0.0
+		switch n.Kind {
+		case ctree.Sink:
+			load = n.SinkCap
+		default:
+			type kid struct {
+				n    *ctree.Node
+				load float64
+			}
+			var kids []kid
+			for _, c := range append([]*ctree.Node(nil), n.Children...) {
+				kload, ktop := process(c)
+				kids = append(kids, kid{ktop, kload})
+				load += kload
+			}
+			// Repair 1: decouple heavy child edges with a buffer at the
+			// merge point so the merge's own driver no longer sees them.
+			sort.Slice(kids, func(i, j int) bool { return kids[i].load > kids[j].load })
+			for i := range kids {
+				if load <= threshold {
+					break
+				}
+				k := kids[i]
+				if k.load <= comp.Cin()*1.25 {
+					break // decoupling replaces ~Cin with Cin: no benefit
+				}
+				pos := legalizePos(tr, k.n, 0, opt)
+				b := tr.InsertOnEdge(k.n, pos, ctree.Buffer)
+				c := comp
+				b.Buf = &c
+				added++
+				// If the site was nudged down the edge by an obstacle, the
+				// wire above the new buffer still loads this merge.
+				contrib := comp.Cin() + tr.EdgeCap(b)
+				kids[i] = kid{b, contrib}
+				load += contrib - k.load
+			}
+			// Repair 2: sink clusters — many near-Cin children at one
+			// point. Partition the children into slew-safe groups, each
+			// driven by its own buffer at the merge location. Skipped when
+			// the merge sits inside an obstacle (no legal site there); such
+			// regions were bounded by the legalizer's slew-free test.
+			mergeLegal := opt.Obs == nil || !opt.Obs.BlocksPoint(n.Loc)
+			for mergeLegal && load > threshold && len(kids) > 1 {
+				b := tr.AddChild(n, ctree.Buffer, n.Loc)
+				c := comp
+				b.Buf = &c
+				added++
+				group := 0.0
+				for i := 0; i < len(kids); {
+					if group == 0 || group+kids[i].load <= threshold {
+						ch := kids[i].n
+						if ch == b {
+							i++
+							continue
+						}
+						r := ch.Route
+						tr.Detach(ch)
+						tr.Attach(ch, b, r)
+						group += kids[i].load
+						kids = append(kids[:i], kids[i+1:]...)
+					} else {
+						i++
+					}
+				}
+				load = load - group + comp.Cin()
+				kids = append(kids, kid{b, comp.Cin()})
+				if group == 0 {
+					break // nothing movable: give up gracefully
+				}
+			}
+		}
+		w := tr.Tech.Wires[n.WidthIdx]
+		length := n.EdgeLen()
+		// Walk the edge bottom-up; insert a buffer each time the running
+		// load hits the threshold. Positions are electrical distances from
+		// the child end.
+		fromBottom := 0.0
+		for {
+			if load >= threshold {
+				// Threshold already exceeded at the current point (fat
+				// merge inside an obstacle): buffer right here.
+			} else {
+				room := (threshold - load) / w.CPerUm
+				if fromBottom+room >= length {
+					break // edge top reached without hitting the threshold
+				}
+				fromBottom += room
+				load = threshold
+			}
+			d := length - fromBottom // electrical distance from parent
+			pos := legalizePos(tr, n, d, opt)
+			b := tr.InsertOnEdge(n, pos, ctree.Buffer)
+			c := comp
+			b.Buf = &c
+			added++
+			// Continue up the (new, shorter) parent edge of b.
+			load = comp.Cin()
+			length = b.EdgeLen()
+			n = b
+			fromBottom = 0
+		}
+		return load + (length-fromBottom)*w.CPerUm, n
+	}
+
+	// The clock source is a plain resistive driver with no regenerative
+	// gain, so it gets its own (usually much smaller) slew-safe load bound.
+	srcSafe := 0.45 * tr.Tech.SlewLimit / (2.2 * tr.SourceR)
+	for _, c := range append([]*ctree.Node(nil), tr.Root.Children...) {
+		top, topNode := process(c)
+		if (top > srcSafe || top > maxCap) && topNode.EdgeLen() >= 0 {
+			pos := legalizePos(tr, topNode, 0, opt)
+			b := tr.InsertOnEdge(topNode, pos, ctree.Buffer)
+			cc := comp
+			b.Buf = &cc
+			added++
+		}
+	}
+	return added, nil
+}
+
+// legalizePos converts an electrical distance-from-parent into a geometric
+// route position and nudges it off obstacles (preferring upward, toward the
+// parent).
+func legalizePos(tr *ctree.Tree, n *ctree.Node, d float64, opt Options) float64 {
+	scale := 1.0
+	if el := n.EdgeLen(); el > 0 {
+		scale = n.Route.Length() / el
+	}
+	pos := d * scale
+	if opt.Obs == nil {
+		return pos
+	}
+	step := 25.0
+	for try := pos; try >= 0; try -= step {
+		if !opt.Obs.BlocksPoint(n.Route.At(try)) {
+			return try
+		}
+	}
+	for try := pos + step; try <= n.Route.Length(); try += step {
+		if !opt.Obs.BlocksPoint(n.Route.At(try)) {
+			return try
+		}
+	}
+	return pos
+}
+
+// StageCountHistogram returns the distribution of buffers per
+// root-to-sink path; used by tests and diagnostics to verify balance.
+func StageCountHistogram(tr *ctree.Tree) map[int]int {
+	h := map[int]int{}
+	for _, s := range tr.Sinks() {
+		n := 0
+		for cur := s; cur != nil; cur = cur.Parent {
+			if cur.Kind == ctree.Buffer {
+				n++
+			}
+		}
+		h[n]++
+	}
+	return h
+}
+
+// SpreadOfHistogram returns max-min key of a non-empty histogram.
+func SpreadOfHistogram(h map[int]int) int {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	if len(keys) == 0 {
+		return 0
+	}
+	return keys[len(keys)-1] - keys[0]
+}

@@ -1,0 +1,136 @@
+package buffering
+
+import (
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// CorrectPolarity fixes inverted sinks after inverter-based buffer insertion
+// (paper Section IV-D, Proposition 2). It traverses the tree bottom-up and
+// marks each node (i) whose downstream sinks all share one polarity while
+// (ii) its parent's do not; an inverter is inserted just above every marked
+// node whose sinks are inverted. The algorithm runs in O(n), corrects every
+// inverted sink, and adds the minimum possible number of inverters subject
+// to at most one added inverter on any root-to-sink path (the added set must
+// be an antichain whose subtrees exactly cover the inverted sinks, and the
+// maximal uniformly-inverted subtree roots are that minimum antichain).
+//
+// Inserted inverters use the given composite. Sites inside obstacles are
+// slid up the edge to the nearest legal spot.
+func CorrectPolarity(tr *ctree.Tree, inv tech.Composite, obs *geom.ObstacleSet) int {
+	// parity[id]: #inverters on the root path, mod 2 (sinks want 0).
+	parity := make(map[int]int, tr.MaxID())
+	var walk func(n *ctree.Node, p int)
+	walk = func(n *ctree.Node, p int) {
+		if n.Kind == ctree.Buffer {
+			p ^= 1
+		}
+		parity[n.ID] = p
+		for _, c := range n.Children {
+			walk(c, p)
+		}
+	}
+	walk(tr.Root, 0)
+
+	// uniform[id]: 0 or 1 when all downstream sinks share that parity,
+	// -1 when mixed, -2 when the subtree has no sinks.
+	uniform := make(map[int]int, tr.MaxID())
+	tr.PostOrder(func(n *ctree.Node) {
+		if n.Kind == ctree.Sink {
+			uniform[n.ID] = parity[n.ID]
+			return
+		}
+		u := -2
+		for _, c := range n.Children {
+			cu := uniform[c.ID]
+			if cu == -2 {
+				continue
+			}
+			if u == -2 {
+				u = cu
+			} else if u != cu {
+				u = -1
+			}
+		}
+		uniform[n.ID] = u
+	})
+
+	// Marked nodes: uniform subtrees whose parent is not uniform. The root
+	// counts as marked when the whole tree is uniform.
+	var marked []*ctree.Node
+	tr.PreOrder(func(n *ctree.Node) {
+		if u := uniform[n.ID]; u == 0 || u == 1 {
+			if n.Parent == nil || uniform[n.Parent.ID] == -1 {
+				marked = append(marked, n)
+			}
+		}
+	})
+
+	added := 0
+	for _, n := range marked {
+		if uniform[n.ID] != 1 {
+			continue // already correct polarity
+		}
+		site := n
+		if site.Parent == nil {
+			// Whole tree inverted: one inverter at the top of the tree (at
+			// the source output, ahead of every trunk edge).
+			b := tr.AddChild(site, ctree.Buffer, site.Loc)
+			comp := inv
+			b.Buf = &comp
+			for _, c := range append([]*ctree.Node(nil), site.Children...) {
+				if c == b {
+					continue
+				}
+				route := c.Route
+				tr.Detach(c)
+				tr.Attach(c, b, route)
+			}
+			added++
+			continue
+		}
+		insertInverterAbove(tr, site, site.Route.Length(), inv, obs)
+		added++
+	}
+	return added
+}
+
+// insertInverterAbove splits node n's parent edge at route distance d from
+// the parent and places an inverter there, sliding up toward the parent when
+// the spot is inside an obstacle.
+func insertInverterAbove(tr *ctree.Tree, n *ctree.Node, d float64, inv tech.Composite, obs *geom.ObstacleSet) *ctree.Node {
+	if obs != nil {
+		step := 25.0
+		for d > 0 && obs.BlocksPoint(n.Route.At(d)) {
+			d -= step
+			if d < 0 {
+				d = 0
+			}
+		}
+	}
+	b := tr.InsertOnEdge(n, d, ctree.Buffer)
+	comp := inv
+	b.Buf = &comp
+	return b
+}
+
+// InvertedSinks returns the sinks whose current polarity differs from the
+// source (parity 1), in pre-order. Used for Table II and by tests.
+func InvertedSinks(tr *ctree.Tree) []*ctree.Node {
+	var out []*ctree.Node
+	var walk func(n *ctree.Node, p int)
+	walk = func(n *ctree.Node, p int) {
+		if n.Kind == ctree.Buffer {
+			p ^= 1
+		}
+		if n.Kind == ctree.Sink && p == 1 {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c, p)
+		}
+	}
+	walk(tr.Root, 0)
+	return out
+}

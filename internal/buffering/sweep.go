@@ -1,0 +1,90 @@
+package buffering
+
+import (
+	"fmt"
+	"math"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/tech"
+)
+
+// SweepResult reports the outcome of the composite-configuration sweep.
+type SweepResult struct {
+	Composite tech.Composite
+	Added     int
+	TotalCap  float64
+	WorstLat  float64 // Elmore worst source-to-sink latency, ps
+}
+
+// InsertBestComposite implements the paper's Section IV-C strategy: run fast
+// buffer insertion with each composite configuration from the ladder and
+// keep the solution with the strongest composite whose total capacitance
+// stays within (1−gamma) of the capacitance limit — the gamma reserve (10%
+// in the paper) is left for the downstream SPICE-driven optimizations.
+//
+// The tree is mutated to the winning solution. Candidates are tried from
+// strongest to weakest so the first admissible one wins; ties in strength
+// never occur because the ladder is strictly ordered.
+func InsertBestComposite(tr *ctree.Tree, ladder []tech.Composite, capLimit, gamma float64, opt Options) (*SweepResult, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("buffering: empty composite ladder")
+	}
+	budget := (1 - gamma) * capLimit
+	corner := tr.Tech.Corners[0]
+
+	insert := Insert
+	if opt.Mode != "vg" {
+		insert = BalancedInsert
+	}
+	var best *SweepResult
+	var bestTree *ctree.Tree
+	bestViol := int(^uint(0) >> 1)
+	for i := len(ladder) - 1; i >= 0; i-- { // strongest first
+		comp := ladder[i]
+		work := tr.Clone()
+		added, err := insert(work, comp, opt)
+		if err != nil {
+			continue
+		}
+		res, err := (&analysis.Elmore{}).Evaluate(work, corner)
+		if err != nil {
+			continue
+		}
+		_, worst := res.MinMaxRise()
+		cand := &SweepResult{Composite: comp, Added: added, TotalCap: work.TotalCap(), WorstLat: worst}
+		if cand.TotalCap <= budget && res.SlewViol == 0 {
+			best, bestTree = cand, work
+			break
+		}
+		// Remember the least-bad fallback in case nothing fits: fewest
+		// slew violations first, then lowest worst latency.
+		if best == nil || res.SlewViol < bestViol ||
+			(res.SlewViol == bestViol && cand.WorstLat < best.WorstLat) {
+			best, bestTree, bestViol = cand, work, res.SlewViol
+		}
+	}
+	if bestTree == nil {
+		return nil, fmt.Errorf("buffering: no composite produced a solution")
+	}
+	adoptFrom(tr, bestTree)
+	return best, nil
+}
+
+// adoptFrom replaces tr's contents with those of donor (which must share the
+// same Tech). This keeps the caller's pointer stable while the sweep works
+// on clones.
+func adoptFrom(tr, donor *ctree.Tree) {
+	*tr = *donor
+}
+
+// WorstLatency returns the worst Elmore sink latency at the reference
+// corner, as a cheap quality indicator used by the sweep and by tests.
+func WorstLatency(tr *ctree.Tree) float64 {
+	res, err := (&analysis.Elmore{}).Evaluate(tr, tr.Tech.Corners[0])
+	if err != nil {
+		return math.Inf(1)
+	}
+	_, worst := res.MinMaxRise()
+	return worst
+}

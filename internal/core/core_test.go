@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"contango/internal/bench"
+	"contango/internal/buffering"
+	"contango/internal/dme"
+	"contango/internal/geom"
+	"contango/internal/route"
+	"contango/internal/spice"
+)
+
+// tinyBench builds a fast-to-simulate benchmark for flow tests.
+func tinyBench() *bench.Benchmark {
+	var sinks []dme.Sink
+	locs := []geom.Point{
+		{X: 2500, Y: 800}, {X: 2600, Y: 2100}, {X: 3500, Y: 1500},
+		{X: 1500, Y: 2600}, {X: 3200, Y: 2900}, {X: 900, Y: 900},
+		{X: 2100, Y: 1700}, {X: 3900, Y: 600},
+	}
+	for i, l := range locs {
+		sinks = append(sinks, dme.Sink{Loc: l, Cap: 25 + float64(i), Name: string(rune('a' + i))})
+	}
+	b := &bench.Benchmark{
+		Name:    "tiny",
+		Die:     geom.NewRect(0, 0, 4200, 3200),
+		Source:  geom.Pt(0, 1600),
+		SourceR: 0.1,
+		Sinks:   sinks,
+		Obstacles: []geom.Obstacle{
+			{Rect: geom.NewRect(1800, 1100, 2400, 1500), Name: "m0"},
+		},
+	}
+	b.CapLimit = 60000
+	return b
+}
+
+func TestSynthesizeEndToEnd(t *testing.T) {
+	b := tinyBench()
+	res, err := Synthesize(b, Options{MaxRounds: 4, Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tree.Sinks()) != len(b.Sinks) {
+		t.Fatalf("sink count changed: %d", len(res.Tree.Sinks()))
+	}
+	if res.Buffers == 0 {
+		t.Error("no buffers inserted")
+	}
+	// Stage records: INITIAL first, final last, named per the paper.
+	names := []string{"INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"}
+	if len(res.Stages) != len(names) {
+		t.Fatalf("stages=%d want %d", len(res.Stages), len(names))
+	}
+	for i, n := range names {
+		if res.Stages[i].Name != n {
+			t.Errorf("stage %d = %s want %s", i, res.Stages[i].Name, n)
+		}
+	}
+	initial := res.Stages[0].Metrics
+	final := res.Final
+	if final.Skew > initial.Skew+1e-9 {
+		t.Errorf("flow did not reduce skew: %v -> %v", initial.Skew, final.Skew)
+	}
+	if final.SlewViol > 0 {
+		t.Errorf("final network has %d slew violations", final.SlewViol)
+	}
+	if b.CapLimit > 0 && final.TotalCap > b.CapLimit {
+		t.Errorf("final cap %v over limit %v", final.TotalCap, b.CapLimit)
+	}
+	// Polarity must be correct at every sink.
+	if got := len(buffering.InvertedSinks(res.Tree)); got != 0 {
+		t.Errorf("%d sinks inverted in final tree", got)
+	}
+	// No heavy crossings remain.
+	obs := geomObstacles(b)
+	if bad := route.CheckLegal(res.Tree, obs, 1e9); len(bad) != 0 {
+		t.Errorf("unexpected crossing load")
+	}
+	if res.Runs == 0 {
+		t.Error("run counter not incremented")
+	}
+}
+
+func geomObstacles(b *bench.Benchmark) *geom.ObstacleSet {
+	return geom.NewObstacleSet(b.Obstacles)
+}
+
+func TestBaselinesRunAndLoseToContango(t *testing.T) {
+	b := tinyBench()
+	full, err := Synthesize(b, Options{MaxRounds: 4, Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BaselineKind{BaselineNoOpt, BaselineGreedy, BaselineBST} {
+		base, err := SynthesizeBaseline(b, kind, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := base.Tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(base.Tree.Sinks()) != len(b.Sinks) {
+			t.Fatalf("%v: sinks lost", kind)
+		}
+		// The optimized flow must beat every one-shot baseline on skew
+		// (the paper's central claim, Table IV).
+		if full.Final.Skew > base.Final.Skew {
+			t.Errorf("%v baseline skew %.2f beats contango %.2f",
+				kind, base.Final.Skew, full.Final.Skew)
+		}
+	}
+}
+
+func TestSkipStages(t *testing.T) {
+	b := tinyBench()
+	res, err := Synthesize(b, Options{
+		MaxRounds:  2,
+		Cycles:     1,
+		SkipStages: map[string]bool{"tbsz": true, "bwsn": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stages {
+		if st.Name == "TBSZ" || st.Name == "BWSN" {
+			t.Errorf("skipped stage %s still recorded", st.Name)
+		}
+	}
+}
+
+func TestCNEOnly(t *testing.T) {
+	b := tinyBench()
+	res, err := SynthesizeBaseline(b, BaselineNoOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := spice.New()
+	m, rs, err := CNEOnly(res.Tree, eng, b.CapLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(res.Tree.Tech.Corners) {
+		t.Fatalf("results=%d", len(rs))
+	}
+	if m.Skew <= 0 || m.CLR <= 0 {
+		t.Errorf("degenerate metrics: %v", m)
+	}
+	if eng.Runs != len(rs) {
+		t.Errorf("runs=%d want %d", eng.Runs, len(rs))
+	}
+}
+
+func TestLargeInvertersMode(t *testing.T) {
+	b := tinyBench()
+	res, err := SynthesizeBaseline(b, BaselineNoOpt, Options{LargeInverters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Composite.Type.Name != "Large" {
+		t.Errorf("composite %v, want a Large group", res.Composite)
+	}
+}

@@ -1,0 +1,279 @@
+package ctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+func newTestTree() *Tree {
+	return New(tech.Default45(), geom.Pt(0, 0), 0.05)
+}
+
+func TestAddChildAndValidate(t *testing.T) {
+	tr := newTestTree()
+	a := tr.AddChild(tr.Root, Internal, geom.Pt(100, 50))
+	tr.AddSink(a, geom.Pt(200, 50), 35, "s1")
+	tr.AddSink(a, geom.Pt(100, 200), 35, "s2")
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Sinks()); got != 2 {
+		t.Errorf("sinks=%d want 2", got)
+	}
+	if tr.NumNodes() != 4 {
+		t.Errorf("nodes=%d want 4", tr.NumNodes())
+	}
+	// L-shaped route to a: 100 + 50.
+	if got := a.EdgeLen(); got != 150 {
+		t.Errorf("edge len=%v want 150", got)
+	}
+}
+
+func TestInsertOnEdge(t *testing.T) {
+	tr := newTestTree()
+	s := tr.AddSink(tr.Root, geom.Pt(100, 100), 35, "s")
+	before := s.EdgeLen()
+	b := tr.InsertOnEdge(s, 60, Buffer)
+	comp := tech.Composite{Type: tr.Tech.Inverters[1], N: 8}
+	b.Buf = &comp
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.EdgeLen()-60) > 1e-9 {
+		t.Errorf("upper edge=%v want 60", b.EdgeLen())
+	}
+	if math.Abs(b.EdgeLen()+s.EdgeLen()-before) > 1e-9 {
+		t.Errorf("length not conserved: %v + %v != %v", b.EdgeLen(), s.EdgeLen(), before)
+	}
+	if s.Parent != b || b.Parent != tr.Root {
+		t.Error("parent pointers wrong after insert")
+	}
+}
+
+func TestRemoveDegree2RoundTrip(t *testing.T) {
+	tr := newTestTree()
+	s := tr.AddSink(tr.Root, geom.Pt(100, 100), 35, "s")
+	totalBefore := tr.Wirelength()
+	mid := tr.InsertOnEdge(s, 80, Internal)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.RemoveDegree2(mid)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Wirelength()-totalBefore) > 1e-9 {
+		t.Errorf("wirelength changed: %v vs %v", tr.Wirelength(), totalBefore)
+	}
+	if s.Parent != tr.Root {
+		t.Error("splice did not restore parent")
+	}
+	if tr.NumNodes() != 2 {
+		t.Errorf("nodes=%d want 2", tr.NumNodes())
+	}
+}
+
+func TestRemoveDegree2KeepsSnake(t *testing.T) {
+	tr := newTestTree()
+	s := tr.AddSink(tr.Root, geom.Pt(100, 0), 35, "s")
+	mid := tr.InsertOnEdge(s, 50, Internal)
+	mid.Snake = 7
+	s.Snake = 3
+	tr.RemoveDegree2(mid)
+	if s.Snake != 10 {
+		t.Errorf("snake=%v want 10", s.Snake)
+	}
+}
+
+func TestCapAccounting(t *testing.T) {
+	tr := newTestTree()
+	s := tr.AddSink(tr.Root, geom.Pt(1000, 0), 42, "s")
+	w := tr.Tech.Wires[s.WidthIdx]
+	if got, want := tr.WireCap(), 1000*w.CPerUm; math.Abs(got-want) > 1e-9 {
+		t.Errorf("WireCap=%v want %v", got, want)
+	}
+	b := tr.InsertOnEdge(s, 500, Buffer)
+	comp := tech.Composite{Type: tr.Tech.Inverters[1], N: 8}
+	b.Buf = &comp
+	if got, want := tr.BufferCap(), comp.CapCost(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BufferCap=%v want %v", got, want)
+	}
+	if got := tr.SinkCapTotal(); got != 42 {
+		t.Errorf("SinkCapTotal=%v", got)
+	}
+	if math.Abs(tr.TotalCap()-(tr.WireCap()+tr.BufferCap())) > 1e-9 {
+		t.Error("TotalCap mismatch")
+	}
+	// Snaking adds wire cap.
+	before := tr.WireCap()
+	s.Snake = 100
+	if got, want := tr.WireCap(), before+100*w.CPerUm; math.Abs(got-want) > 1e-9 {
+		t.Errorf("snaked WireCap=%v want %v", got, want)
+	}
+}
+
+func TestInversionParity(t *testing.T) {
+	tr := newTestTree()
+	s := tr.AddSink(tr.Root, geom.Pt(100, 0), 35, "s")
+	if tr.InversionParity(s) != 0 {
+		t.Error("no buffers: parity should be 0")
+	}
+	comp := tech.Composite{Type: tr.Tech.Inverters[1], N: 8}
+	b1 := tr.InsertOnEdge(s, 30, Buffer)
+	b1.Buf = &comp
+	if tr.InversionParity(s) != 1 {
+		t.Error("one inverter: parity should be 1")
+	}
+	b2 := tr.InsertOnEdge(s, 30, Buffer)
+	b2.Buf = &comp
+	if tr.InversionParity(s) != 0 {
+		t.Error("two inverters: parity should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := newTestTree()
+	a := tr.AddChild(tr.Root, Internal, geom.Pt(50, 50))
+	s := tr.AddSink(a, geom.Pt(100, 100), 35, "s")
+	b := tr.InsertOnEdge(s, 20, Buffer)
+	comp := tech.Composite{Type: tr.Tech.Inverters[1], N: 16}
+	b.Buf = &comp
+
+	cp := tr.Clone()
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Wirelength() != tr.Wirelength() || cp.TotalCap() != tr.TotalCap() {
+		t.Error("clone differs in metrics")
+	}
+	// Mutating the clone must not affect the original.
+	cp.Node(s.ID).Snake = 500
+	cp.Node(b.ID).Buf.N = 32
+	if s.Snake != 0 {
+		t.Error("clone mutation leaked into original snake")
+	}
+	if b.Buf.N != 16 {
+		t.Error("clone mutation leaked into original buffer")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := newTestTree()
+	s := tr.AddSink(tr.Root, geom.Pt(100, 0), 35, "s")
+
+	// Broken route endpoint.
+	save := s.Route
+	s.Route = geom.Polyline{geom.Pt(5, 5), geom.Pt(100, 0)}
+	if tr.Validate() == nil {
+		t.Error("expected route-start violation")
+	}
+	s.Route = save
+
+	// Sink with a child.
+	bad := &Node{ID: len(tr.nodes), Kind: Internal, Loc: geom.Pt(200, 0), Parent: s,
+		Route: geom.Polyline{geom.Pt(100, 0), geom.Pt(200, 0)}}
+	tr.nodes = append(tr.nodes, bad)
+	s.Children = append(s.Children, bad)
+	if tr.Validate() == nil {
+		t.Error("expected sink-with-children violation")
+	}
+	s.Children = nil
+	tr.nodes[bad.ID] = nil
+
+	// Buffer without composite.
+	b := tr.InsertOnEdge(s, 50, Buffer)
+	if tr.Validate() == nil {
+		t.Error("expected buffer-missing-composite violation")
+	}
+	comp := tech.Composite{Type: tr.Tech.Inverters[0], N: 1}
+	b.Buf = &comp
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree should be valid again: %v", err)
+	}
+}
+
+func TestRandomTreeInvariants(t *testing.T) {
+	// Property: random sequences of AddChild/InsertOnEdge/RemoveDegree2
+	// keep the tree valid and conserve wirelength under splice.
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 30; iter++ {
+		tr := newTestTree()
+		var inserted []*Node
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				parents := []*Node{tr.Root}
+				tr.PreOrder(func(n *Node) {
+					if n.Kind == Internal {
+						parents = append(parents, n)
+					}
+				})
+				p := parents[rng.Intn(len(parents))]
+				loc := geom.Pt(float64(rng.Intn(1000)), float64(rng.Intn(1000)))
+				if rng.Intn(2) == 0 {
+					tr.AddSink(p, loc, 35, "")
+				} else {
+					tr.AddChild(p, Internal, loc)
+				}
+			case 1:
+				var edges []*Node
+				tr.PreOrder(func(n *Node) {
+					if n.Parent != nil && n.EdgeLen() > 2 {
+						edges = append(edges, n)
+					}
+				})
+				if len(edges) > 0 {
+					e := edges[rng.Intn(len(edges))]
+					d := rng.Float64() * e.Route.Length()
+					inserted = append(inserted, tr.InsertOnEdge(e, d, Internal))
+				}
+			case 2:
+				if len(inserted) > 0 {
+					i := rng.Intn(len(inserted))
+					n := inserted[i]
+					if tr.Node(n.ID) == n && len(n.Children) == 1 {
+						tr.RemoveDegree2(n)
+						inserted = append(inserted[:i], inserted[i+1:]...)
+					}
+				}
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestPrePostOrder(t *testing.T) {
+	tr := newTestTree()
+	a := tr.AddChild(tr.Root, Internal, geom.Pt(10, 0))
+	tr.AddSink(a, geom.Pt(20, 0), 1, "x")
+	tr.AddSink(a, geom.Pt(10, 10), 1, "y")
+
+	var pre, post []int
+	tr.PreOrder(func(n *Node) { pre = append(pre, n.ID) })
+	tr.PostOrder(func(n *Node) { post = append(post, n.ID) })
+	if pre[0] != tr.Root.ID {
+		t.Error("pre-order must start at root")
+	}
+	if post[len(post)-1] != tr.Root.ID {
+		t.Error("post-order must end at root")
+	}
+	if len(pre) != 4 || len(post) != 4 {
+		t.Errorf("visit counts %d/%d", len(pre), len(post))
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	tr := newTestTree()
+	a := tr.AddChild(tr.Root, Internal, geom.Pt(10, 0))
+	s := tr.AddSink(a, geom.Pt(20, 0), 1, "x")
+	path := tr.PathToRoot(s)
+	if len(path) != 3 || path[0] != s || path[2] != tr.Root {
+		t.Errorf("path wrong: %v", path)
+	}
+}

@@ -1,0 +1,269 @@
+// Package dme constructs zero-skew clock trees: a topology generator
+// (nearest-neighbor clustering in the style of Edahiro for small instances,
+// means-and-medians bisection for large ones) followed by bottom-up
+// exact-zero-skew merging under the Elmore delay model (Tsay's balance-point
+// method, the ZST/DME family the paper builds its initial trees with).
+//
+// The produced tree has zero Elmore skew by construction: at every merge the
+// tapping point is placed on the Manhattan path between the two subtree
+// roots so that both sides see equal Elmore delay; when one side is too fast
+// for any tapping point, its wire is elongated (snaked) to restore balance.
+package dme
+
+import (
+	"math"
+	"sort"
+
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// Sink is a clock endpoint to be connected.
+type Sink struct {
+	Loc  geom.Point
+	Cap  float64 // load capacitance, fF
+	Name string
+}
+
+// Options controls tree construction.
+type Options struct {
+	// Topology selects the pairing strategy: "auto" (default), "nn"
+	// (greedy nearest-neighbor clustering) or "mmm" (means-and-medians
+	// recursive bisection). Auto uses nn below NNThreshold sinks.
+	Topology string
+	// NNThreshold is the sink count up to which auto picks nearest-neighbor
+	// clustering (which is cubic but gives slightly better wirelength).
+	NNThreshold int
+	// WidthIdx is the wire type used for all tree edges.
+	WidthIdx int
+
+	// NoBalance disables Elmore balancing: tapping points land at the
+	// geometric midpoint and no snaking is added. This models simpler
+	// contest-style constructors and is used only by baseline flows.
+	NoBalance bool
+	// NoSnake keeps balanced tapping but never elongates wires (a
+	// bounded-skew rather than zero-skew merge).
+	NoSnake bool
+	// TapQuantum, when positive, rounds tapping distances to this grid
+	// (µm), emulating bounded-skew merging-region quantization.
+	TapQuantum float64
+}
+
+func (o *Options) defaults() {
+	if o.Topology == "" {
+		o.Topology = "auto"
+	}
+	if o.NNThreshold == 0 {
+		o.NNThreshold = 400
+	}
+}
+
+// mnode is a merge-tree vertex built bottom-up before materialization.
+type mnode struct {
+	loc         geom.Point
+	left, right *mnode
+	sink        *Sink
+	// per-child edge geometry decided during merging
+	snakeL, snakeR float64
+	// Elmore state of the subtree rooted here
+	cap   float64 // total downstream capacitance, fF
+	delay float64 // Elmore delay from this point to every sink (zero skew)
+}
+
+// BuildZST constructs a zero-skew tree over the sinks, rooted at source.
+// The trunk (source to first merge point) is a plain route; it delays all
+// sinks equally and is later populated with buffers.
+func BuildZST(tk *tech.Tech, source geom.Point, sinks []Sink, opt Options) *ctree.Tree {
+	opt.defaults()
+	tr := ctree.New(tk, source, 0.1)
+	if len(sinks) == 0 {
+		return tr
+	}
+	w := tk.Wires[opt.WidthIdx]
+
+	leaves := make([]*mnode, len(sinks))
+	for i := range sinks {
+		s := sinks[i]
+		leaves[i] = &mnode{loc: s.Loc, sink: &s, cap: s.Cap}
+	}
+
+	var top *mnode
+	useNN := opt.Topology == "nn" || (opt.Topology == "auto" && len(sinks) <= opt.NNThreshold)
+	if useNN {
+		top = mergeNearestNeighbor(leaves, w, opt)
+	} else {
+		top = buildMMM(leaves, w, opt)
+	}
+
+	// Materialize into a ctree, top-down.
+	var attach func(parent *ctree.Node, m *mnode)
+	attach = func(parent *ctree.Node, m *mnode) {
+		var n *ctree.Node
+		if m.sink != nil {
+			n = tr.AddSink(parent, m.loc, m.sink.Cap, m.sink.Name)
+		} else {
+			n = tr.AddChild(parent, ctree.Internal, m.loc)
+		}
+		n.WidthIdx = opt.WidthIdx
+		if m.left != nil {
+			attach(n, m.left)
+			child := n.Children[len(n.Children)-1]
+			child.Snake = m.snakeL
+		}
+		if m.right != nil {
+			attach(n, m.right)
+			child := n.Children[len(n.Children)-1]
+			child.Snake = m.snakeR
+		}
+		_ = parent
+	}
+	attach(tr.Root, top)
+	tr.Root.Children[0].WidthIdx = opt.WidthIdx
+	return tr
+}
+
+// merge combines two subtrees with an Elmore-balanced tapping point and
+// returns the merged node (Tsay's exact zero-skew construction). Baseline
+// options degrade it deliberately: NoBalance taps at the midpoint,
+// TapQuantum snaps the tapping point to a grid, NoSnake clamps instead of
+// elongating.
+func merge(a, b *mnode, w tech.WireType, opt Options) *mnode {
+	r, c := w.RPerUm, w.CPerUm
+	L := a.loc.Manhattan(b.loc)
+	m := &mnode{left: a, right: b}
+
+	if L == 0 {
+		// Coincident roots: balance purely by snaking the faster side.
+		if a.delay == b.delay || opt.NoBalance || opt.NoSnake {
+			m.loc = a.loc
+			m.cap = a.cap + b.cap
+			m.delay = math.Max(a.delay, b.delay)
+			return m
+		}
+	}
+
+	// Tapping point at distance x from a along the path:
+	//   delay_a(x) = a.delay + r·x·(c·x/2 + a.cap)
+	//   delay_b(x) = b.delay + r·(L−x)·(c·(L−x)/2 + b.cap)
+	// Setting them equal yields the classic closed form.
+	den := r * (a.cap + b.cap + c*L)
+	x := 0.0
+	if den > 0 {
+		x = (b.delay - a.delay + r*L*(b.cap+c*L/2)) / den
+	}
+	if opt.NoBalance {
+		x = L / 2
+	}
+	if opt.TapQuantum > 0 {
+		x = math.Round(x/opt.TapQuantum) * opt.TapQuantum
+	}
+	if opt.NoBalance || opt.NoSnake {
+		x = math.Max(0, math.Min(L, x))
+		m.loc = tapPoint(a.loc, b.loc, x)
+		da := a.delay + r*x*(c*x/2+a.cap)
+		db := b.delay + r*(L-x)*(c*(L-x)/2+b.cap)
+		m.delay = math.Max(da, db)
+		m.cap = a.cap + b.cap + c*L
+		return m
+	}
+	switch {
+	case x >= 0 && x <= L:
+		m.loc = tapPoint(a.loc, b.loc, x)
+		m.delay = a.delay + r*x*(c*x/2+a.cap)
+		m.cap = a.cap + b.cap + c*L
+	case x < 0:
+		// a is too slow: tap at a and elongate the wire to b.
+		m.loc = a.loc
+		ext := extension(a.delay-b.delay, b.cap, r, c)
+		m.snakeR = ext - L
+		if m.snakeR < 0 {
+			m.snakeR = 0
+		}
+		m.delay = a.delay
+		m.cap = a.cap + b.cap + c*(L+m.snakeR)
+	default: // x > L: b is too slow
+		m.loc = b.loc
+		ext := extension(b.delay-a.delay, a.cap, r, c)
+		m.snakeL = ext - L
+		if m.snakeL < 0 {
+			m.snakeL = 0
+		}
+		m.delay = b.delay
+		m.cap = a.cap + b.cap + c*(L+m.snakeL)
+	}
+	return m
+}
+
+// extension solves r·L'·(c·L'/2 + cap) = dt for L': the wirelength needed to
+// delay the faster side by dt.
+func extension(dt, cap, r, c float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	if c == 0 {
+		return dt / (r * cap)
+	}
+	return (-cap + math.Sqrt(cap*cap+2*c*dt/r)) / c
+}
+
+// tapPoint returns the point at Manhattan distance x from a along the
+// horizontal-first L-shape to b.
+func tapPoint(a, b geom.Point, x float64) geom.Point {
+	return geom.LShape(a, b)[0].At(x)
+}
+
+// mergeNearestNeighbor repeatedly merges the globally closest pair of
+// cluster roots (Edahiro-style greedy clustering).
+func mergeNearestNeighbor(nodes []*mnode, w tech.WireType, opt Options) *mnode {
+	live := append([]*mnode(nil), nodes...)
+	for len(live) > 1 {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				if d := live[i].loc.Manhattan(live[j].loc); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		m := merge(live[bi], live[bj], w, opt)
+		live[bi] = m
+		live[bj] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	return live[0]
+}
+
+// buildMMM recursively bisects the sink set at the median of its wider axis
+// (method of means and medians), then merges the two halves' trees.
+func buildMMM(nodes []*mnode, w tech.WireType, opt Options) *mnode {
+	if len(nodes) == 1 {
+		return nodes[0]
+	}
+	minX, maxX := nodes[0].loc.X, nodes[0].loc.X
+	minY, maxY := nodes[0].loc.Y, nodes[0].loc.Y
+	for _, n := range nodes[1:] {
+		minX = math.Min(minX, n.loc.X)
+		maxX = math.Max(maxX, n.loc.X)
+		minY = math.Min(minY, n.loc.Y)
+		maxY = math.Max(maxY, n.loc.Y)
+	}
+	byX := maxX-minX >= maxY-minY
+	sorted := append([]*mnode(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if byX {
+			if sorted[i].loc.X != sorted[j].loc.X {
+				return sorted[i].loc.X < sorted[j].loc.X
+			}
+			return sorted[i].loc.Y < sorted[j].loc.Y
+		}
+		if sorted[i].loc.Y != sorted[j].loc.Y {
+			return sorted[i].loc.Y < sorted[j].loc.Y
+		}
+		return sorted[i].loc.X < sorted[j].loc.X
+	})
+	mid := len(sorted) / 2
+	left := buildMMM(sorted[:mid], w, opt)
+	right := buildMMM(sorted[mid:], w, opt)
+	return merge(left, right, w, opt)
+}

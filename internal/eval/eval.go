@@ -1,0 +1,119 @@
+// Package eval turns raw evaluation results into the paper's metrics —
+// nominal skew, Clock Latency Range (CLR), latencies, slew and capacitance
+// accounting — and renders ASCII tables for the experiment harnesses.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+)
+
+// Metrics summarizes one clock network evaluated across corners.
+type Metrics struct {
+	// Skew is the nominal skew at the reference (fast) corner: the worse of
+	// the rising and falling max−min arrival spreads, ps.
+	Skew float64
+	// CLR is the contest objective: greatest sink latency at the slow
+	// corner minus least sink latency at the fast corner, ps.
+	CLR float64
+	// MaxLatency is the greatest sink latency at the fast corner (the
+	// quantity Table V reports), ps.
+	MaxLatency float64
+	// MaxSlew is the worst 10-90% slew anywhere, across corners, ps.
+	MaxSlew float64
+	// SlewViol counts slew-limit violations across corners.
+	SlewViol int
+	// TotalCap is wire + buffer capacitance, fF.
+	TotalCap float64
+	// CapPct is TotalCap as a percentage of the benchmark limit (0 when no
+	// limit was given).
+	CapPct float64
+}
+
+// FromResults computes metrics from per-corner results. results[0] must be
+// the fast (reference) corner; the last entry is the slow corner. capLimit
+// may be zero.
+func FromResults(tr *ctree.Tree, results []*analysis.Result, capLimit float64) Metrics {
+	m := Metrics{TotalCap: tr.TotalCap()}
+	if capLimit > 0 {
+		m.CapPct = 100 * m.TotalCap / capLimit
+	}
+	if len(results) == 0 {
+		return m
+	}
+	fast := results[0]
+	slow := results[len(results)-1]
+	m.Skew = fast.Skew()
+	fMinR, _ := fast.MinMaxRise()
+	fMinF, _ := fast.MinMaxFall()
+	_, sMaxR := slow.MinMaxRise()
+	_, sMaxF := slow.MinMaxFall()
+	_, fMaxR := fast.MinMaxRise()
+	_, fMaxF := fast.MinMaxFall()
+	m.MaxLatency = math.Max(fMaxR, fMaxF)
+	m.CLR = math.Max(sMaxR, sMaxF) - math.Min(fMinR, fMinF)
+	for _, r := range results {
+		if r.MaxSlew > m.MaxSlew {
+			m.MaxSlew = r.MaxSlew
+		}
+		m.SlewViol += r.SlewViol
+	}
+	return m
+}
+
+// Violated reports whether the network breaks a hard constraint (slew, or
+// the capacitance limit when one is set).
+func (m Metrics) Violated(capLimit float64) bool {
+	if m.SlewViol > 0 {
+		return true
+	}
+	if capLimit > 0 && m.TotalCap > capLimit {
+		return true
+	}
+	return false
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("skew=%.3fps clr=%.2fps lat=%.1fps slew=%.1fps cap=%.1fpF (%.1f%%)",
+		m.Skew, m.CLR, m.MaxLatency, m.MaxSlew, m.TotalCap/1000, m.CapPct)
+}
+
+// Table renders rows as a fixed-width ASCII table. Every row must have
+// len(headers) cells.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+func twoSinkTree(tk *tech.Tech) (*ctree.Tree, int, int) {
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	a := tr.AddSink(tr.Root, geom.Pt(100, 0), 30, "a")
+	b := tr.AddSink(tr.Root, geom.Pt(0, 100), 30, "b")
+	return tr, a.ID, b.ID
+}
+
+func TestFromResults(t *testing.T) {
+	tk := tech.Default45()
+	tr, a, b := twoSinkTree(tk)
+	fast := &analysis.Result{
+		Rise:    map[int]float64{a: 100, b: 104},
+		Fall:    map[int]float64{a: 101, b: 103},
+		MaxSlew: 60,
+	}
+	slow := &analysis.Result{
+		Rise:    map[int]float64{a: 130, b: 140},
+		Fall:    map[int]float64{a: 131, b: 138},
+		MaxSlew: 80,
+	}
+	m := FromResults(tr, []*analysis.Result{fast, slow}, 100000)
+	// Skew at the fast corner: rise spread 4, fall spread 2 -> 4.
+	if m.Skew != 4 {
+		t.Errorf("skew=%v want 4", m.Skew)
+	}
+	// CLR: max slow (140) - min fast (100).
+	if m.CLR != 40 {
+		t.Errorf("CLR=%v want 40", m.CLR)
+	}
+	if m.MaxLatency != 104 {
+		t.Errorf("MaxLatency=%v want 104", m.MaxLatency)
+	}
+	if m.MaxSlew != 80 {
+		t.Errorf("MaxSlew=%v want 80", m.MaxSlew)
+	}
+	if m.TotalCap <= 0 || math.Abs(m.CapPct-100*m.TotalCap/100000) > 1e-9 {
+		t.Errorf("cap accounting wrong: %+v", m)
+	}
+}
+
+func TestViolated(t *testing.T) {
+	if (Metrics{SlewViol: 1}).Violated(0) == false {
+		t.Error("slew violation must trip")
+	}
+	if (Metrics{TotalCap: 200}).Violated(100) == false {
+		t.Error("cap over limit must trip")
+	}
+	if (Metrics{TotalCap: 50}).Violated(100) {
+		t.Error("clean metrics flagged")
+	}
+	if (Metrics{TotalCap: 200}).Violated(0) {
+		t.Error("no limit: cap cannot violate")
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	tk := tech.Default45()
+	tr, _, _ := twoSinkTree(tk)
+	m := FromResults(tr, nil, 0)
+	if m.Skew != 0 || m.CLR != 0 {
+		t.Errorf("empty results should zero the timing metrics: %+v", m)
+	}
+	if m.TotalCap <= 0 {
+		t.Error("cap accounting should still run")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"name", "val"}, [][]string{{"a", "1"}, {"longer-name", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[3], "longer-name") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	// All rows align to the same width.
+	if len(lines[1]) < len("longer-name") {
+		t.Error("separator shorter than widest cell")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{Skew: 3.14159, CLR: 12.5, MaxLatency: 500, MaxSlew: 80, TotalCap: 12345, CapPct: 67.8}.String()
+	for _, want := range []string{"3.142", "12.50", "500", "80", "12.3", "67.8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

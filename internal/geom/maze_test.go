@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMazeRouteEmptyGrid(t *testing.T) {
+	die := NewRect(0, 0, 1000, 1000)
+	m := NewMaze(die, 10, nil)
+	a, b := Pt(100, 100), Pt(900, 700)
+	pl, err := m.Route(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl[0].Eq(a, 0) || !pl[len(pl)-1].Eq(b, 0) {
+		t.Fatalf("route endpoints wrong: %v", pl)
+	}
+	// On an empty grid the route must be (near) the Manhattan distance;
+	// grid snapping can add at most a couple of cells.
+	if pl.Length() > a.Manhattan(b)+4*m.Step() {
+		t.Errorf("route length %v >> manhattan %v", pl.Length(), a.Manhattan(b))
+	}
+}
+
+func TestMazeRouteAvoidsObstacle(t *testing.T) {
+	die := NewRect(0, 0, 1000, 1000)
+	obs := NewObstacleSet([]Obstacle{{Rect: NewRect(400, 0, 600, 900)}})
+	m := NewMaze(die, 10, obs)
+	a, b := Pt(100, 450), Pt(900, 450)
+	pl, err := m.Route(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CrossesRect(NewRect(400+10, 0+10, 600-10, 900-10)) {
+		t.Errorf("route crosses obstacle interior: %v", pl)
+	}
+	// Detour must go over the top (y>900): length >= direct + 2*(900-450) - slack
+	want := a.Manhattan(b) + 2*(900-450)
+	if pl.Length() < want-50 {
+		t.Errorf("route length %v suspiciously short, want >= %v", pl.Length(), want)
+	}
+}
+
+func TestMazeRouteNoPath(t *testing.T) {
+	die := NewRect(0, 0, 100, 100)
+	// Wall fully dividing the die.
+	obs := NewObstacleSet([]Obstacle{{Rect: NewRect(45, -10, 55, 110)}})
+	m := NewMaze(die, 5, obs)
+	_, err := m.Route(Pt(10, 50), Pt(90, 50))
+	if err != ErrNoRoute {
+		t.Fatalf("want ErrNoRoute, got %v", err)
+	}
+}
+
+func TestMazeRouteSamePoint(t *testing.T) {
+	m := NewMaze(NewRect(0, 0, 100, 100), 5, nil)
+	pl, err := m.Route(Pt(50, 50), Pt(50, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Length() != 0 {
+		t.Errorf("zero route has length %v", pl.Length())
+	}
+}
+
+func TestMazeRouteMatchesManhattanOnEmptyGrid(t *testing.T) {
+	// Property: on an obstacle-free grid, maze routes are shortest paths.
+	die := NewRect(0, 0, 500, 500)
+	m := NewMaze(die, 10, nil)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		a := Pt(float64(rng.Intn(50))*10, float64(rng.Intn(50))*10)
+		b := Pt(float64(rng.Intn(50))*10, float64(rng.Intn(50))*10)
+		pl, err := m.Route(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pl.Length()-a.Manhattan(b)) > 1e-6 {
+			t.Fatalf("route %v->%v length %v want %v", a, b, pl.Length(), a.Manhattan(b))
+		}
+		for j := 1; j < len(pl); j++ {
+			if pl[j-1].X != pl[j].X && pl[j-1].Y != pl[j].Y {
+				t.Fatalf("non-rectilinear segment in %v", pl)
+			}
+		}
+	}
+}
+
+func TestMazeEscapeFromBlockedEndpoint(t *testing.T) {
+	// A sink sitting inside an obstacle footprint (cell-wise) must still be
+	// reachable: escape through blocked cells is allowed at the endpoints.
+	die := NewRect(0, 0, 200, 200)
+	obs := NewObstacleSet([]Obstacle{{Rect: NewRect(90, 90, 110, 110)}})
+	m := NewMaze(die, 5, obs)
+	pl, err := m.Route(Pt(100, 100), Pt(10, 10))
+	if err != nil {
+		t.Fatalf("blocked endpoint should be escapable: %v", err)
+	}
+	if !pl[0].Eq(Pt(100, 100), 0) {
+		t.Errorf("route must start at requested point")
+	}
+}

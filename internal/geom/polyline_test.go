@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPolylineLength(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 5)}
+	if got := pl.Length(); got != 15 {
+		t.Errorf("Length=%v want 15", got)
+	}
+	if got := (Polyline{}).Length(); got != 0 {
+		t.Errorf("empty Length=%v", got)
+	}
+	if got := (Polyline{Pt(1, 1)}).Length(); got != 0 {
+		t.Errorf("single-point Length=%v", got)
+	}
+}
+
+func TestRectify(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(5, 5)}
+	r := pl.Rectify()
+	if len(r) != 3 {
+		t.Fatalf("Rectify len=%d want 3: %v", len(r), r)
+	}
+	if !r[1].Eq(Pt(5, 0), 0) {
+		t.Errorf("bend at %v want (5,0)", r[1])
+	}
+	if r.Length() != pl[0].Manhattan(pl[1]) {
+		t.Errorf("rectified length %v != manhattan %v", r.Length(), pl[0].Manhattan(pl[1]))
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i-1].X != r[i].X && r[i-1].Y != r[i].Y {
+			t.Errorf("segment %d not axis-parallel", i)
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(5, 0), Pt(10, 0), Pt(10, 0), Pt(10, 5)}
+	s := pl.Simplify()
+	if len(s) != 3 {
+		t.Fatalf("Simplify len=%d want 3: %v", len(s), s)
+	}
+	if s.Length() != pl.Length() {
+		t.Errorf("Simplify changed length: %v vs %v", s.Length(), pl.Length())
+	}
+}
+
+func TestAtAndSplit(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	if got := pl.At(0); !got.Eq(Pt(0, 0), 0) {
+		t.Errorf("At(0)=%v", got)
+	}
+	if got := pl.At(5); !got.Eq(Pt(5, 0), 0) {
+		t.Errorf("At(5)=%v", got)
+	}
+	if got := pl.At(15); !got.Eq(Pt(10, 5), 0) {
+		t.Errorf("At(15)=%v", got)
+	}
+	if got := pl.At(999); !got.Eq(Pt(10, 10), 0) {
+		t.Errorf("At(999)=%v", got)
+	}
+	a, b := pl.Split(12)
+	if math.Abs(a.Length()-12) > 1e-9 || math.Abs(b.Length()-8) > 1e-9 {
+		t.Errorf("Split lengths %v,%v want 12,8", a.Length(), b.Length())
+	}
+	if !a[len(a)-1].Eq(b[0], 0) {
+		t.Errorf("Split halves disagree at cut: %v vs %v", a[len(a)-1], b[0])
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(5)
+		pl := Polyline{Pt(0, 0)}
+		for i := 1; i < n; i++ {
+			last := pl[len(pl)-1]
+			if rng.Intn(2) == 0 {
+				pl = append(pl, Pt(last.X+float64(1+rng.Intn(20)), last.Y))
+			} else {
+				pl = append(pl, Pt(last.X, last.Y+float64(1+rng.Intn(20))))
+			}
+		}
+		total := pl.Length()
+		d := rng.Float64() * total
+		a, b := pl.Split(d)
+		if math.Abs(a.Length()+b.Length()-total) > 1e-6 {
+			t.Fatalf("split lengths %v+%v != %v", a.Length(), b.Length(), total)
+		}
+		if math.Abs(a.Length()-d) > 1e-6 {
+			t.Fatalf("first half length %v want %v", a.Length(), d)
+		}
+	}
+}
+
+func TestLShape(t *testing.T) {
+	ls := LShape(Pt(0, 0), Pt(10, 20))
+	for i, pl := range ls {
+		if got := pl.Length(); got != 30 {
+			t.Errorf("LShape[%d] length=%v want 30", i, got)
+		}
+	}
+	if ls[0][1] != Pt(10, 0) {
+		t.Errorf("horizontal-first bend %v", ls[0][1])
+	}
+	if ls[1][1] != Pt(0, 20) {
+		t.Errorf("vertical-first bend %v", ls[1][1])
+	}
+	aligned := LShape(Pt(0, 0), Pt(0, 9))
+	if len(aligned[0]) != 2 || aligned[0].Length() != 9 {
+		t.Errorf("aligned LShape %v", aligned[0])
+	}
+}
+
+func TestOverlapWithRect(t *testing.T) {
+	r := NewRect(10, 10, 20, 20)
+	cases := []struct {
+		pl   Polyline
+		want float64
+	}{
+		{Polyline{Pt(0, 15), Pt(30, 15)}, 10},
+		{Polyline{Pt(0, 5), Pt(30, 5)}, 0},
+		{Polyline{Pt(12, 12), Pt(18, 12)}, 6},
+		{Polyline{Pt(0, 15), Pt(15, 15), Pt(15, 30)}, 10}, // 5 horiz + 5 vert
+		{Polyline{Pt(0, 10), Pt(30, 10)}, 0},              // on edge
+	}
+	for _, c := range cases {
+		if got := c.pl.OverlapWithRect(r); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Overlap(%v)=%v want %v", c.pl, got, c.want)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(1, 0), Pt(1, 5)}
+	r := pl.Reverse()
+	if !r[0].Eq(Pt(1, 5), 0) || !r[2].Eq(Pt(0, 0), 0) {
+		t.Errorf("Reverse=%v", r)
+	}
+	if r.Length() != pl.Length() {
+		t.Error("Reverse changed length")
+	}
+}

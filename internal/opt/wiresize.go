@@ -1,0 +1,167 @@
+package opt
+
+import (
+	"sort"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/slack"
+)
+
+// EstimateTws measures the ad hoc linear wiresizing model of Section IV-E:
+// several independent mid-tree wire segments are downsized, one accurate
+// evaluation observes the worst latency increase among their downstream
+// sinks, and the per-µm impact parameter Tws is the conservative maximum.
+// The probes are reverted before returning; exactly one extra CNE is spent.
+func EstimateTws(cx *Context) (float64, error) {
+	base, _, err := cx.Baseline()
+	if err != nil {
+		return 0, err
+	}
+	probes := pickProbes(cx.Tree, cx.wideIdx(), 4)
+	if len(probes) == 0 {
+		return 0, nil
+	}
+	for _, p := range probes {
+		p.WidthIdx = cx.narrowIdx()
+	}
+	cx.invalidate()
+	after, _, err := cx.CNE()
+	if err != nil {
+		return 0, err
+	}
+	twsUnit := 0.0
+	for _, p := range probes {
+		worst := 0.0
+		for _, s := range sinksUnder(p) {
+			for vi := range base {
+				if d := after[vi].Rise[s.ID] - base[vi].Rise[s.ID]; d > worst {
+					worst = d
+				}
+				if d := after[vi].Fall[s.ID] - base[vi].Fall[s.ID]; d > worst {
+					worst = d
+				}
+			}
+		}
+		if u := worst / p.EdgeLen(); u > twsUnit {
+			twsUnit = u
+		}
+	}
+	// Revert probes and the CNE cache.
+	for _, p := range probes {
+		p.WidthIdx = cx.wideIdx()
+	}
+	cx.invalidate()
+	return twsUnit, nil
+}
+
+// pickProbes selects up to k long, wide, subtree-disjoint edges from the
+// middle of the tree (neither trunk nor sink edges).
+func pickProbes(tr *ctree.Tree, wide, k int) []*ctree.Node {
+	var cands []*ctree.Node
+	tr.PreOrder(func(n *ctree.Node) {
+		if n.Parent == nil || n.Parent.Parent == nil {
+			return // root or trunk-top edges: affect all sinks
+		}
+		if n.Kind == ctree.Sink || n.WidthIdx != wide {
+			return
+		}
+		if n.EdgeLen() < 100 {
+			return
+		}
+		cands = append(cands, n)
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].EdgeLen() > cands[j].EdgeLen() })
+	var out []*ctree.Node
+	taken := map[int]bool{}
+	for _, c := range cands {
+		if len(out) == k {
+			break
+		}
+		conflict := false
+		for cur := c; cur != nil; cur = cur.Parent {
+			if taken[cur.ID] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		// Mark the whole subtree as taken so probes stay independent.
+		var mark func(*ctree.Node)
+		mark = func(n *ctree.Node) {
+			taken[n.ID] = true
+			for _, ch := range n.Children {
+				mark(ch)
+			}
+		}
+		mark(c)
+		out = append(out, c)
+	}
+	return out
+}
+
+func sinksUnder(n *ctree.Node) []*ctree.Node {
+	var out []*ctree.Node
+	var rec func(*ctree.Node)
+	rec = func(m *ctree.Node) {
+		if m.Kind == ctree.Sink {
+			out = append(out, m)
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
+}
+
+// TopDownWiresizing is Algorithm 1 of the paper: repeatedly compute wire
+// slow-down slacks, walk the tree top-down with a running consumed-slack
+// budget, downsize every wide edge whose remaining slack exceeds the
+// estimated impact Tws·length, then accept or revert based on an accurate
+// evaluation. Downsizing also *reduces* capacitance, so this pass frees
+// power for later snaking.
+func TopDownWiresizing(cx *Context) error {
+	twsUnit, err := EstimateTws(cx)
+	if err != nil {
+		return err
+	}
+	if twsUnit <= 0 {
+		cx.logf("twsz: no usable probes, skipping")
+		return nil
+	}
+	cx.logf("twsz: Tws=%.4f ps/µm", twsUnit)
+	wide, narrow := cx.wideIdx(), cx.narrowIdx()
+	return cx.improveLoop("twsz", MinSkew, func(res []*analysis.Result) bool {
+		slk := slack.Compute(cx.Tree, res)
+		changed := 0
+		type item struct {
+			n      *ctree.Node
+			rslack float64
+		}
+		queue := []item{}
+		for _, c := range cx.Tree.Root.Children {
+			queue = append(queue, item{c, 0})
+		}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			n, rs := it.n, it.rslack
+			if n.Parent != nil && n.WidthIdx == wide {
+				est := twsUnit * n.EdgeLen()
+				if budget := slk.EdgeSlow[n.ID] - rs; budget > est && est > 0 {
+					n.WidthIdx = narrow
+					rs += est
+					changed++
+				}
+			}
+			for _, c := range n.Children {
+				queue = append(queue, item{c, rs})
+			}
+		}
+		cx.logf("twsz: downsized %d edges", changed)
+		return changed > 0
+	})
+}

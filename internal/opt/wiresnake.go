@@ -1,0 +1,298 @@
+package opt
+
+import (
+	"math"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/slack"
+)
+
+// DefaultLwn is the wiresnaking quantum (µm): snake lengths are multiples of
+// it. Smaller values give finer control at the cost of more accurate-
+// evaluation rounds (Section IV-F); the default follows the paper's
+// empirically-set mid-range.
+const DefaultLwn = 25.0
+
+// EstimateTwn measures the worst-case effects of one snaking quantum: probe
+// edges receive lwn µm of snake, one accurate evaluation measures the
+// latency increase of their downstream sinks (Twn, ps/µm) and the slew
+// degradation (TwnSlew, ps/µm), both conservative over probes. Probes are
+// reverted. When sinkEdges is true the probes are sink wires, matching the
+// bottom-level pass's operating region.
+func EstimateTwn(cx *Context, lwn float64, sinkEdges bool) (twn, twnSlew float64, err error) {
+	base, _, err := cx.Baseline()
+	if err != nil {
+		return 0, 0, err
+	}
+	var probes []*ctree.Node
+	if sinkEdges {
+		for _, s := range cx.Tree.Sinks() {
+			if s.EdgeLen() > 50 {
+				probes = append(probes, s)
+			}
+			if len(probes) == 4 {
+				break
+			}
+		}
+	} else {
+		probes = pickProbes(cx.Tree, cx.wideIdx(), 3)
+	}
+	if len(probes) == 0 {
+		// Degenerate trees: fall back to the wire model (r·c per µm against
+		// a typical downstream cap is unknowable without probes; use a tiny
+		// positive stand-in so callers can still budget).
+		w := cx.Tree.Tech.Wires[cx.wideIdx()]
+		return w.RPerUm * w.CPerUm * 100, 0.01, nil
+	}
+	for _, p := range probes {
+		p.Snake += lwn
+	}
+	cx.invalidate()
+	after, _, err := cx.CNE()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range probes {
+		worst, worstSlew := 0.0, 0.0
+		for _, s := range sinksUnder(p) {
+			for vi := range base {
+				if d := after[vi].Rise[s.ID] - base[vi].Rise[s.ID]; d > worst {
+					worst = d
+				}
+				if d := after[vi].Fall[s.ID] - base[vi].Fall[s.ID]; d > worst {
+					worst = d
+				}
+				if d := after[vi].SinkSlew[s.ID] - base[vi].SinkSlew[s.ID]; d > worstSlew {
+					worstSlew = d
+				}
+			}
+		}
+		if u := worst / lwn; u > twn {
+			twn = u
+		}
+		if u := worstSlew / lwn; u > twnSlew {
+			twnSlew = u
+		}
+	}
+	for vi := range base {
+		if d := (after[vi].MaxSlew - base[vi].MaxSlew) / lwn; d > twnSlew {
+			twnSlew = d
+		}
+	}
+	if twnSlew <= 0 {
+		twnSlew = 1e-4
+	}
+	for _, p := range probes {
+		p.Snake -= lwn
+	}
+	cx.invalidate()
+	return twn, twnSlew, nil
+}
+
+// snakeBudgetPass walks the tree top-down assigning snake to edges with
+// positive remaining slow-down slack. safety < 1 leaves margin for model
+// error; onlySinkEdges restricts the pass to bottom-level wires; maxStep
+// caps the snake added to one edge in one round — the linear Twn model only
+// holds for small increments (the paper snakes "a small amount" per round).
+func snakeBudgetPass(cx *Context, res []*analysis.Result, twn, twnSlew, lwn, safety float64, onlySinkEdges bool, maxStep, capShare float64) int {
+	slk := slack.Compute(cx.Tree, res)
+	tk := cx.Tree.Tech
+	wireC := tk.Wires[cx.narrowIdx()].CPerUm
+	headroom := cx.capHeadroom() * capShare
+	limit := tk.SlewLimit
+	// Per-stage measured slews (worst over corners): snake on an edge only
+	// degrades the slews of its own stage, so each stage's remaining
+	// headroom bounds how much snake its edges can absorb this round.
+	stageSlew := map[int]float64{}
+	for _, r := range res {
+		for id, v := range r.StageSlew {
+			if v > stageSlew[id] {
+				stageSlew[id] = v
+			}
+		}
+	}
+	// Analytic slew impact of snaking edge n by x µm, at the slow corner:
+	//   Δslew ≈ 2.2·[Rd·c·x + r·x·(c·x/2 + Cdown)]
+	// — the stage driver charging the extra capacitance plus the snake's
+	// own series resistance feeding everything below the edge. Inverting
+	// the quadratic gives the largest snake the remaining stage headroom
+	// allows; headroom is consumed as edges of the same stage are snaked.
+	slowV := tk.Corners[len(tk.Corners)-1].Vdd
+	driverR := func(driverID int) float64 {
+		if driverID < 0 {
+			return cx.Tree.SourceR * (tk.VddRef - tk.Vt) / (slowV - tk.Vt)
+		}
+		n := cx.Tree.Node(driverID)
+		if n == nil || n.Buf == nil {
+			return 1
+		}
+		return tk.RoutAt(*n.Buf, slowV)
+	}
+	slewCost := func(n *ctree.Node, driverID int, x float64) float64 {
+		w := tk.Wires[n.WidthIdx]
+		rd := driverR(driverID)
+		cdown := cx.Tree.LoadCap(n)
+		return 2.2 * (rd*w.CPerUm*x + w.RPerUm*x*(w.CPerUm*x/2+cdown))
+	}
+	slewRoomLen := func(n *ctree.Node, driverID int, room float64) float64 {
+		if room <= 0 {
+			return 0
+		}
+		w := tk.Wires[n.WidthIdx]
+		rd := driverR(driverID)
+		cdown := cx.Tree.LoadCap(n)
+		a := w.RPerUm * w.CPerUm / 2
+		bq := rd*w.CPerUm + w.RPerUm*cdown
+		c0 := room / 2.2
+		return (-bq + math.Sqrt(bq*bq+4*a*c0)) / (2 * a)
+	}
+	_ = twnSlew
+	changed := 0
+	// driverOf maps every tree node to its stage driver (-1 = source).
+	driverOf := map[int]int{}
+	var mark func(n *ctree.Node, drv int)
+	mark = func(n *ctree.Node, drv int) {
+		driverOf[n.ID] = drv
+		next := drv
+		if n.Kind == ctree.Buffer {
+			next = n.ID
+		}
+		for _, c := range n.Children {
+			mark(c, next)
+		}
+	}
+	mark(cx.Tree.Root, -1)
+	type item struct {
+		n      *ctree.Node
+		rslack float64
+	}
+	var queue []item
+	for _, c := range cx.Tree.Root.Children {
+		queue = append(queue, item{c, 0})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		n, rs := it.n, it.rslack
+		eligible := n.Parent != nil
+		if onlySinkEdges {
+			eligible = eligible && n.Kind == ctree.Sink
+		}
+		if eligible {
+			budget := (slk.EdgeSlow[n.ID] - rs) * safety
+			if budget > twn*lwn {
+				addLen := math.Floor(budget/(twn*lwn)) * lwn
+				if addLen > maxStep {
+					addLen = math.Floor(maxStep/lwn) * lwn
+				}
+				// Brake against the owning stage's slew headroom.
+				drv := driverOf[n.ID]
+				room := 0.88*limit - stageSlew[drv]
+				if lim := slewRoomLen(n, drv, room); addLen > lim {
+					addLen = math.Floor(lim/lwn) * lwn
+				}
+				// Respect the capacitance limit.
+				if addCap := addLen * wireC; addCap > headroom {
+					addLen = math.Floor(headroom/wireC/lwn) * lwn
+				}
+				if addLen > 0 {
+					n.Snake += addLen
+					stageSlew[drv] += slewCost(n, drv, addLen)
+					headroom -= addLen * wireC
+					rs += addLen * twn
+					changed++
+				}
+			}
+		}
+		for _, c := range n.Children {
+			queue = append(queue, item{c, rs})
+		}
+	}
+	return changed
+}
+
+// TopDownWiresnaking is the paper's Section IV-F pass: top-down snaking of
+// high tree edges driven by slow-down slacks and the measured Twn linear
+// model, with accurate-evaluation acceptance per round.
+func TopDownWiresnaking(cx *Context) error {
+	lwn := DefaultLwn
+	twn, twnSlew, err := EstimateTwn(cx, lwn, false)
+	if err != nil {
+		return err
+	}
+	if twn <= 0 {
+		cx.logf("twsn: degenerate Twn, skipping")
+		return nil
+	}
+	cx.logf("twsn: Twn=%.5f ps/µm, TwnSlew=%.5f ps/µm (lwn=%.0f)", twn, twnSlew, lwn)
+	// Re-run the improvement loop with progressively gentler steps: a round
+	// that overshoots the accurate check at a coarse step often passes at a
+	// finer one.
+	for _, step := range []float64{400, 150, 50} {
+		step := step
+		if err := cx.improveLoop("twsn", MinSkew, func(res []*analysis.Result) bool {
+			changed := snakeBudgetPass(cx, res, twn, twnSlew, lwn, 0.85, false, step, 1.0)
+			cx.logf("twsn: snaked %d edges (step %.0f)", changed, step)
+			return changed > 0
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BottomLevelTuning is the paper's Section IV-G fine-tuning: wiresizing and
+// wiresnaking restricted to the wires directly connected to sinks, with a
+// finer snaking quantum, run until the results stop improving. Gains are
+// typically small (a couple of ps) but a large fraction of the remaining
+// skew.
+func BottomLevelTuning(cx *Context) error {
+	lwn := DefaultLwn / 2.5 // finer quantum at the bottom level
+	twn, twnSlew, err := EstimateTwn(cx, lwn, true)
+	if err != nil {
+		return err
+	}
+	if twn <= 0 {
+		return nil
+	}
+	// Bottom-level wiresizing: downsize sink edges with slack to spare.
+	twsUnit, err := EstimateTws(cx)
+	if err != nil {
+		return err
+	}
+	wide, narrow := cx.wideIdx(), cx.narrowIdx()
+	if twsUnit > 0 {
+		if err := cx.improveLoop("bwsz", MinBoth, func(res []*analysis.Result) bool {
+			slk := slack.Compute(cx.Tree, res)
+			changed := 0
+			for _, s := range cx.Tree.Sinks() {
+				if s.WidthIdx != wide {
+					continue
+				}
+				if slk.EdgeSlow[s.ID] > twsUnit*s.EdgeLen()*1.2 {
+					s.WidthIdx = narrow
+					changed++
+				}
+			}
+			cx.logf("bwsz: downsized %d sink edges", changed)
+			return changed > 0
+		}); err != nil {
+			return err
+		}
+	}
+	// Bottom-level wiresnaking. The bottom pass may only spend a fraction
+	// of the remaining capacitance budget: the top-down passes recover far
+	// more skew per fF and must not be starved in later cycles.
+	for _, step := range []float64{150, 50} {
+		step := step
+		if err := cx.improveLoop("bwsn", MinBoth, func(res []*analysis.Result) bool {
+			changed := snakeBudgetPass(cx, res, twn, twnSlew, lwn, 0.7, true, step, 0.4)
+			cx.logf("bwsn: snaked %d sink edges (step %.0f)", changed, step)
+			return changed > 0
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

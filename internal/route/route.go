@@ -1,0 +1,170 @@
+// Package route repairs obstacle violations in clock trees (paper Section
+// IV-A). Wires may cross placement obstacles but buffers may not sit on
+// them, so a wire crossing is only a problem when the load beyond it is too
+// large for a single buffer placed before the obstacle (a slew risk). The
+// legalizer applies, in order:
+//
+//  1. L-shape selection — for each crossing edge, the single-bend
+//     configuration with the smaller obstacle overlap;
+//  2. the slew-free capacitance test — crossings whose downstream load a
+//     single strong buffer can drive are left alone;
+//  3. maze rerouting — heavy point-to-point crossings are rerouted around
+//     the obstacles;
+//  4. contour detouring — subtrees enclosed by a compound obstacle are
+//     rebuilt along the obstacle's contour ring, cutting the ring arc
+//     furthest (along the contour) from the source so the network stays a
+//     tree while the longest detoured source-to-sink path is minimized
+//     (paper Fig. 2).
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"contango/internal/ctree"
+	"contango/internal/geom"
+)
+
+// Options configures legalization.
+type Options struct {
+	// SafeCap is the slew-free capacitance (fF): the largest load a single
+	// buffer may drive over an obstacle without slew risk.
+	SafeCap float64
+	// MazeStep is the maze-router grid pitch in µm; 0 derives it from the
+	// die size.
+	MazeStep float64
+	// MaxPasses bounds the repair iterations (reroutes can graze other
+	// obstacles); 0 means 3.
+	MaxPasses int
+}
+
+// Report summarizes what the legalizer did.
+type Report struct {
+	LFlips   int // edges fixed by choosing the other L-shape
+	Reroutes int // edges maze-rerouted around obstacles
+	Detours  int // compound obstacles detoured along their contour
+	Crossing int // remaining (slew-safe) crossings left in place
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("l-flips=%d reroutes=%d detours=%d safe-crossings=%d",
+		r.LFlips, r.Reroutes, r.Detours, r.Crossing)
+}
+
+// Legalize repairs all obstacle violations in tr. It mutates the tree and
+// returns a report. The die rectangle bounds detour contours and the maze.
+func Legalize(tr *ctree.Tree, obs *geom.ObstacleSet, die geom.Rect, opt Options) (*Report, error) {
+	rep := &Report{}
+	if obs == nil || obs.Len() == 0 {
+		return rep, nil
+	}
+	if opt.MaxPasses == 0 {
+		opt.MaxPasses = 3
+	}
+	if opt.MazeStep == 0 {
+		opt.MazeStep = math.Max(die.W(), die.H()) / 256
+	}
+	maze := geom.NewMaze(die, opt.MazeStep, obs)
+
+	// Pass 1: cheap L-shape flips everywhere.
+	tr.PreOrder(func(n *ctree.Node) {
+		if n.Parent == nil || len(n.Route) > 3 {
+			return // only direct connections have a free alternate L
+		}
+		if !crossesAny(obs, n.Route) {
+			return
+		}
+		alt := geom.LShape(n.Parent.Loc, n.Loc)
+		best, bestOv := n.Route, overlap(obs, n.Route)
+		for _, cand := range alt {
+			if ov := overlap(obs, cand); ov < bestOv {
+				best, bestOv = cand, ov
+			}
+		}
+		if ov0 := overlap(obs, n.Route); bestOv < ov0 {
+			n.Route = best
+			rep.LFlips++
+		}
+	})
+
+	// Pass 2: per-compound capture analysis and detouring.
+	for ci := range obs.Compounds {
+		if err := detourCompound(tr, obs, ci, die, maze, opt, rep); err != nil {
+			return rep, err
+		}
+	}
+
+	// Pass 3: heavy point-to-point crossings -> maze reroute. Repeat a few
+	// times since a reroute can graze another obstacle.
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		changed := false
+		var bad []*ctree.Node
+		tr.PreOrder(func(n *ctree.Node) {
+			if n.Parent == nil || !crossesAny(obs, n.Route) {
+				return
+			}
+			if tr.LoadCap(n) > opt.SafeCap {
+				bad = append(bad, n)
+			}
+		})
+		for _, n := range bad {
+			pl, err := maze.Route(n.Parent.Loc, n.Loc)
+			if err != nil {
+				continue // unroutable: leave the crossing; flow will buffer before it
+			}
+			if crossesAny(obs, pl) {
+				continue
+			}
+			n.Route = pl
+			rep.Reroutes++
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Count the crossings we deliberately left (slew-safe).
+	tr.PreOrder(func(n *ctree.Node) {
+		if n.Parent != nil && crossesAny(obs, n.Route) {
+			rep.Crossing++
+		}
+	})
+	return rep, tr.Validate()
+}
+
+func crossesAny(obs *geom.ObstacleSet, pl geom.Polyline) bool {
+	for i := 1; i < len(pl); i++ {
+		if obs.SegmentCrossesAny(pl[i-1], pl[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlap(obs *geom.ObstacleSet, pl geom.Polyline) float64 {
+	var total float64
+	for i := range obs.Obstacles {
+		total += pl.OverlapWithRect(obs.Obstacles[i].Rect)
+	}
+	return total
+}
+
+// CheckLegal reports edges that still cross obstacles while carrying more
+// downstream load than a single buffer can safely drive. An empty slice
+// means the tree is buffering-legal.
+func CheckLegal(tr *ctree.Tree, obs *geom.ObstacleSet, safeCap float64) []*ctree.Node {
+	var bad []*ctree.Node
+	if obs == nil {
+		return nil
+	}
+	tr.PreOrder(func(n *ctree.Node) {
+		if n.Parent == nil {
+			return
+		}
+		if crossesAny(obs, n.Route) && tr.LoadCap(n) > safeCap {
+			bad = append(bad, n)
+		}
+	})
+	return bad
+}

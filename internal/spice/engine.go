@@ -1,0 +1,314 @@
+package spice
+
+import (
+	"math"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/tech"
+)
+
+// Engine is the transient clock-network evaluator (the flow's CNE step).
+// It implements analysis.Evaluator. Runs counts Evaluate invocations, which
+// is how the paper counts SPICE runs in its scalability study.
+type Engine struct {
+	// MaxSeg is the RC subdivision length in µm (0 = analysis default).
+	MaxSeg float64
+	// Dt is the integration timestep in ps.
+	Dt float64
+	// SourceSlew is the transition time of the ideal clock input ramp, ps.
+	SourceSlew float64
+	// SettleTol is the fraction of Vdd within which a node counts as
+	// settled at its final rail.
+	SettleTol float64
+
+	// Runs is the number of transient analyses performed so far.
+	Runs int
+
+	// LastWorstSlewDriver records, after each Evaluate, the tree-node ID of
+	// the driver whose stage contained the worst slew (-1 for the source
+	// stage). Diagnostic aid.
+	LastWorstSlewDriver int
+}
+
+// New returns an engine with production defaults: 100 µm RC segments, 1 ps
+// timestep, 20 ps input slew.
+func New() *Engine {
+	return &Engine{MaxSeg: 100, Dt: 1, SourceSlew: 20, SettleTol: 0.005}
+}
+
+// Name implements analysis.Evaluator.
+func (e *Engine) Name() string { return "transient" }
+
+// launchResult aggregates one full-network transient for a single source
+// transition.
+type launchResult struct {
+	sinkT50     map[int]float64
+	sinkSlew    map[int]float64
+	stageSlew   map[int]float64
+	maxSlew     float64
+	viol        int
+	worstDriver int // tree-node ID of the worst-slew stage's driver, -1 = source
+}
+
+// Evaluate implements analysis.Evaluator: it runs two transients (rising and
+// falling source edges) at the given corner and reports 50% arrival times
+// and worst 10-90% slews at every sink.
+func (e *Engine) Evaluate(tr *ctree.Tree, corner tech.Corner) (*analysis.Result, error) {
+	net := analysis.Extract(tr, e.MaxSeg)
+	res := &analysis.Result{
+		Corner:    corner,
+		Rise:      make(map[int]float64),
+		Fall:      make(map[int]float64),
+		SinkSlew:  make(map[int]float64),
+		StageSlew: make(map[int]float64),
+	}
+	worstSlew := -1.0
+	for _, rising := range []bool{true, false} {
+		lr := e.simulateLaunch(net, corner, rising)
+		if lr.maxSlew > worstSlew {
+			worstSlew = lr.maxSlew
+			e.LastWorstSlewDriver = lr.worstDriver
+		}
+		for id, t := range lr.sinkT50 {
+			if rising {
+				res.Rise[id] = t
+			} else {
+				res.Fall[id] = t
+			}
+		}
+		for id, s := range lr.sinkSlew {
+			if old, ok := res.SinkSlew[id]; !ok || s > old {
+				res.SinkSlew[id] = s
+			}
+		}
+		for id, s := range lr.stageSlew {
+			if old, ok := res.StageSlew[id]; !ok || s > old {
+				res.StageSlew[id] = s
+			}
+		}
+		if lr.maxSlew > res.MaxSlew {
+			res.MaxSlew = lr.maxSlew
+		}
+		res.SlewViol += lr.viol
+	}
+	e.Runs++
+	return res, nil
+}
+
+// simulateLaunch propagates one source edge through every stage in
+// topological order.
+func (e *Engine) simulateLaunch(net *analysis.Net, corner tech.Corner, rising bool) launchResult {
+	vdd := corner.Vdd
+	dt := e.Dt
+	out := launchResult{
+		sinkT50:     make(map[int]float64),
+		sinkSlew:    make(map[int]float64),
+		stageSlew:   make(map[int]float64),
+		worstDriver: -1,
+	}
+	inputs := make([]*Waveform, len(net.Stages))
+	// dirs[i] is true when stage i's OUTPUT transition is rising.
+	dirs := make([]bool, len(net.Stages))
+	if rising {
+		inputs[0] = Ramp(0, vdd, e.SourceSlew, dt)
+	} else {
+		inputs[0] = Ramp(vdd, 0, e.SourceSlew, dt)
+	}
+	dirs[0] = rising // the source stage driver is non-inverting
+	srcT50 := e.SourceSlew / 2
+
+	tk := net.Tree.Tech
+	for _, s := range net.Stages {
+		vin := inputs[s.Index]
+		if vin == nil {
+			continue // upstream stage failed to produce a transition
+		}
+		var drv driver
+		if s.Driver == nil {
+			drv = resistorDriver{r: net.DriverR(s, corner)}
+		} else {
+			drv = inverterDriver{k: tk.KDrive(*s.Driver.Buf), vdd: vdd, vt: tk.Vt}
+		}
+		st := e.simStage(s, drv, vin, dirs[s.Index], vdd, net.DriverR(s, corner))
+		for _, m := range s.Sinks {
+			out.sinkT50[m.Sink.ID] = st.t50[m.Node] - srcT50
+			out.sinkSlew[m.Sink.ID] = st.slew[m.Node]
+		}
+		key := -1
+		if s.Driver != nil {
+			key = s.Driver.ID
+		}
+		for i := range st.slew {
+			if st.slew[i] > out.maxSlew {
+				out.maxSlew = st.slew[i]
+				out.worstDriver = key
+			}
+			if st.slew[i] > out.stageSlew[key] {
+				out.stageSlew[key] = st.slew[i]
+			}
+			if st.slew[i] > tk.SlewLimit {
+				out.viol++
+			}
+		}
+		// Hand each downstream stage the waveform recorded at its driver's
+		// input pin.
+		for _, ci := range s.Children {
+			child := net.Stages[ci]
+			if w, ok := st.loadWaves[child.InputNode]; ok {
+				inputs[ci] = w.Trim(0.002 * vdd)
+				dirs[ci] = !dirs[s.Index]
+			}
+		}
+	}
+	return out
+}
+
+// stageResult holds per-RC-node measurements of one stage transient.
+type stageResult struct {
+	t50       []float64 // absolute 50% crossing, ps (+Inf if never)
+	slew      []float64 // 10-90% transition time, ps (+Inf if never)
+	loadWaves map[int]*Waveform
+}
+
+// simStage integrates one stage with Backward Euler. The RC tree is reduced
+// bottom-up to a Thevenin equivalent at the driver output each step; the
+// driver equation is solved by Newton; voltages back-substitute top-down.
+func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRising bool, vdd, rd float64) stageResult {
+	n := len(s.R)
+	dt := e.Dt
+	rail0, railF := vdd, 0.0
+	if outRising {
+		rail0, railF = 0.0, vdd
+	}
+
+	g := make([]float64, n)
+	gC := make([]float64, n)
+	for i := 0; i < n; i++ {
+		gC[i] = s.C[i] / dt
+		if i > 0 {
+			g[i] = 1 / s.R[i]
+		}
+	}
+	// Constant elimination factors (caps and resistances are fixed).
+	d := make([]float64, n)
+	elim := make([]float64, n)
+	for i := n - 1; i >= 1; i-- {
+		d[i] = gC[i] + g[i] + elim[i]
+		elim[s.Par[i]] += g[i] - g[i]*g[i]/d[i]
+	}
+	d[0] = gC[0] + elim[0]
+	if d[0] <= 0 {
+		d[0] = 1e-12
+	}
+
+	V := make([]float64, n)
+	for i := range V {
+		V[i] = rail0
+	}
+	b := make([]float64, n)
+	acc := make([]float64, n)
+
+	// Crossing trackers per node: 10%, 50%, 90% of vdd in the output
+	// direction. For falling outputs the 90% threshold is crossed first.
+	lo := make([]crossing, n)
+	mid := make([]crossing, n)
+	hi := make([]crossing, n)
+	for i := 0; i < n; i++ {
+		lo[i] = crossing{th: 0.1 * vdd, rising: outRising}
+		mid[i] = crossing{th: 0.5 * vdd, rising: outRising}
+		hi[i] = crossing{th: 0.9 * vdd, rising: outRising}
+	}
+
+	loadWaves := make(map[int]*Waveform, len(s.Loads))
+	for _, ld := range s.Loads {
+		loadWaves[ld.Node] = &Waveform{T0: vin.T0, Dt: dt, V: []float64{rail0}, V0: rail0}
+	}
+
+	// Window: input transition plus several stage time constants, with a
+	// hard cap to stay live under degenerate drivers.
+	tauMax := 1.0
+	for _, tau := range analysis.StageElmore(s, rd) {
+		if tau > tauMax {
+			tauMax = tau
+		}
+	}
+	tEndMin := vin.End() + 5*tauMax + 50
+	tMax := tEndMin + 30*tauMax + 2000
+	tol := e.SettleTol * vdd
+
+	t := vin.T0
+	for {
+		t += dt
+		// Bottom-up: reduce to the root.
+		for i := 0; i < n; i++ {
+			b[i] = gC[i] * V[i]
+			acc[i] = 0
+		}
+		for i := n - 1; i >= 1; i-- {
+			b[i] += acc[i]
+			acc[s.Par[i]] += g[i] * b[i] / d[i]
+		}
+		b[0] += acc[0]
+		vPrev0 := V[0]
+		v0 := solveRoot(drv, vin.At(t), d[0], b[0], vPrev0, vdd)
+		// Top-down back-substitution, updating trackers inline.
+		lo[0].observe(t, dt, vPrev0, v0)
+		mid[0].observe(t, dt, vPrev0, v0)
+		hi[0].observe(t, dt, vPrev0, v0)
+		V[0] = v0
+		settled := abs(v0-railF) <= tol
+		for i := 1; i < n; i++ {
+			vPrev := V[i]
+			v := (b[i] + g[i]*V[s.Par[i]]) / d[i]
+			lo[i].observe(t, dt, vPrev, v)
+			mid[i].observe(t, dt, vPrev, v)
+			hi[i].observe(t, dt, vPrev, v)
+			V[i] = v
+			if abs(v-railF) > tol {
+				settled = false
+			}
+		}
+		for node, w := range loadWaves {
+			w.V = append(w.V, V[node])
+		}
+		if (t >= tEndMin && settled) || t >= tMax {
+			break
+		}
+	}
+
+	res := stageResult{
+		t50:       make([]float64, n),
+		slew:      make([]float64, n),
+		loadWaves: loadWaves,
+	}
+	for i := 0; i < n; i++ {
+		if mid[i].done {
+			res.t50[i] = mid[i].t
+		} else {
+			res.t50[i] = math.Inf(1)
+		}
+		if lo[i].done && hi[i].done {
+			res.slew[i] = abs(hi[i].t - lo[i].t)
+		} else {
+			res.slew[i] = math.Inf(1)
+		}
+	}
+	return res
+}
+
+var _ analysis.Evaluator = (*Engine)(nil)
+
+// EvaluateAll runs the engine at every corner of the tree's technology and
+// returns the results in corner order.
+func (e *Engine) EvaluateAll(tr *ctree.Tree) ([]*analysis.Result, error) {
+	var out []*analysis.Result
+	for _, c := range tr.Tech.Corners {
+		r, err := e.Evaluate(tr, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

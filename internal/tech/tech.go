@@ -1,0 +1,286 @@
+// Package tech models the 45 nm technology used by the ISPD'09 clock-network
+// synthesis contest: wire types, clock inverters, parallel (composite)
+// inverter configurations, supply-voltage corners and design limits.
+//
+// Unit system (used across the whole library):
+//
+//	distance    µm
+//	resistance  kΩ
+//	capacitance fF
+//	time        ps   (kΩ · fF = ps)
+//	voltage     V
+//	current     mA   (V / kΩ)
+//
+// The inverter electrical parameters reproduce Table I of the paper.
+package tech
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WireType describes one available wire width.
+type WireType struct {
+	Name   string
+	RPerUm float64 // resistance per µm, kΩ/µm
+	CPerUm float64 // capacitance per µm, fF/µm
+}
+
+// InverterType describes one library inverter (Table I rows "1X Large",
+// "1X Small").
+type InverterType struct {
+	Name string
+	Cin  float64 // input pin capacitance, fF
+	Cout float64 // output (self-loading) capacitance, fF
+	Rout float64 // effective output resistance, kΩ
+}
+
+// Composite is a parallel composition of N identical inverters, used as a
+// single logical clock buffer (paper Section IV-B). Parallel composition
+// divides output resistance by N and multiplies both capacitances by N.
+type Composite struct {
+	Type InverterType
+	N    int
+}
+
+// Cin returns the input capacitance of the composite in fF.
+func (c Composite) Cin() float64 { return c.Type.Cin * float64(c.N) }
+
+// Cout returns the output self-capacitance of the composite in fF.
+func (c Composite) Cout() float64 { return c.Type.Cout * float64(c.N) }
+
+// Rout returns the effective output resistance of the composite in kΩ.
+func (c Composite) Rout() float64 { return c.Type.Rout / float64(c.N) }
+
+// CapCost is the composite's contribution to the total-capacitance budget
+// (input plus output capacitance, as the contest counts buffer loading).
+func (c Composite) CapCost() float64 { return c.Cin() + c.Cout() }
+
+func (c Composite) String() string { return fmt.Sprintf("%dx %s", c.N, c.Type.Name) }
+
+// Corner is a supply-voltage process corner. The ISPD'09 contest evaluated
+// the Clock Latency Range between a 1.2 V corner and a 1.0 V corner.
+type Corner struct {
+	Name string
+	Vdd  float64
+}
+
+// Tech bundles every technology parameter the synthesizer needs.
+type Tech struct {
+	Wires     []WireType     // index 0 is the default (widest) clock wire
+	Inverters []InverterType // available clock inverters
+	Corners   []Corner       // Corners[0] is the fast (reference) corner
+
+	Vt     float64 // device threshold voltage, V
+	VddRef float64 // voltage at which Rout values are specified, V
+
+	SlewLimit   float64 // max 10-90% slew anywhere in the network, ps
+	MaxParallel int     // largest parallel composition considered
+
+	// SlewSafeCap is the largest downstream capacitance (fF) a single
+	// strongest composite may drive without risking a slew violation; used
+	// by the obstacle detourer (paper Section IV-A Step 2). Derived by
+	// Default45 from the slew limit.
+	SlewSafeCap float64
+}
+
+// Default45 returns the 45 nm technology matching the paper's Table I, with
+// two wire widths and two inverter types, evaluated at 1.2 V and 1.0 V.
+func Default45() *Tech {
+	t := &Tech{
+		// Clock nets route on thick upper metals: low resistance per µm.
+		// The narrow width trades 3x the resistance for 40% less
+		// capacitance, which is what makes wiresizing a slow-down knob
+		// that simultaneously saves power.
+		Wires: []WireType{
+			{Name: "W1-wide", RPerUm: 0.00003, CPerUm: 0.25},   // 0.03 Ω/µm
+			{Name: "W2-narrow", RPerUm: 0.00009, CPerUm: 0.15}, // 0.09 Ω/µm
+		},
+		Inverters: []InverterType{
+			{Name: "Large", Cin: 35, Cout: 80, Rout: 0.0612},
+			{Name: "Small", Cin: 4.2, Cout: 6.1, Rout: 0.440},
+		},
+		Corners: []Corner{
+			{Name: "fast@1.2V", Vdd: 1.2},
+			{Name: "slow@1.0V", Vdd: 1.0},
+		},
+		Vt:          0.35,
+		VddRef:      1.2,
+		SlewLimit:   100,
+		MaxParallel: 64,
+	}
+	// A driver with resistance R driving lumped cap C has a 10-90% slew of
+	// about 2.2·R·C; solve 2.2·R·C = SlewLimit for C with the workhorse
+	// composite of each family — one large inverter, or the paper's batch
+	// of 8 parallel small inverters (≈ 55 Ω) — and keep the better. The 40%
+	// margin covers input-slew degradation through deep chains and leaves
+	// room for the snaking passes to add capacitance without tripping the
+	// limit.
+	rMin := 1e18
+	for _, inv := range t.Inverters {
+		r := inv.Rout
+		if inv.Name == "Small" {
+			r = inv.Rout / 8
+		}
+		if r < rMin {
+			rMin = r
+		}
+	}
+	t.SlewSafeCap = 0.45 * t.SlewLimit / (2.2 * rMin)
+	return t
+}
+
+// Wide returns the index of the lowest-resistance wire type.
+func (t *Tech) Wide() int {
+	best := 0
+	for i, w := range t.Wires {
+		if w.RPerUm < t.Wires[best].RPerUm {
+			best = i
+		}
+	}
+	_ = best
+	return best
+}
+
+// Narrow returns the index of the highest-resistance wire type.
+func (t *Tech) Narrow() int {
+	best := 0
+	for i, w := range t.Wires {
+		if w.RPerUm > t.Wires[best].RPerUm {
+			best = i
+		}
+	}
+	return best
+}
+
+// KDrive returns the square-law transconductance (mA/V²) that makes a
+// composite's linear-region on-resistance equal Rout at the reference
+// supply: Ron = 1/(2·K·(VddRef−Vt)).
+func (t *Tech) KDrive(c Composite) float64 {
+	vov := t.VddRef - t.Vt
+	return 1 / (2 * c.Rout() * vov)
+}
+
+// RoutAt returns the effective on-resistance (kΩ) of composite c at supply
+// vdd. Lower supply means less gate overdrive and a weaker driver, which is
+// what makes the 1.0 V corner slower (the CLR mechanism).
+func (t *Tech) RoutAt(c Composite, vdd float64) float64 {
+	vov := vdd - t.Vt
+	if vov <= 0 {
+		return 1e12
+	}
+	return 1 / (2 * t.KDrive(c) * vov)
+}
+
+// dominated reports whether a is dominated by b: b is no worse in input cap,
+// output cap and output resistance, and strictly better in at least one.
+func dominated(a, b Composite) bool {
+	if b.Cin() > a.Cin() || b.Cout() > a.Cout() || b.Rout() > a.Rout() {
+		return false
+	}
+	return b.Cin() < a.Cin() || b.Cout() < a.Cout() || b.Rout() < a.Rout()
+}
+
+// NonDominatedComposites enumerates parallel compositions 1..MaxParallel of
+// every inverter type and returns the Pareto-optimal set ordered by
+// decreasing output resistance (weakest first). This is the paper's
+// composite inverter/buffer analysis: with Table I parameters every
+// multiple-of-8 group of small inverters dominates the corresponding group
+// of large inverters.
+func (t *Tech) NonDominatedComposites() []Composite {
+	var all []Composite
+	for _, inv := range t.Inverters {
+		for n := 1; n <= t.MaxParallel; n++ {
+			all = append(all, Composite{Type: inv, N: n})
+		}
+	}
+	var keep []Composite
+	for i, a := range all {
+		dom := false
+		for j, b := range all {
+			if i != j && dominated(a, b) {
+				dom = true
+				break
+			}
+		}
+		if !dom {
+			keep = append(keep, a)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].Rout() != keep[j].Rout() {
+			return keep[i].Rout() > keep[j].Rout()
+		}
+		return keep[i].Cin() < keep[j].Cin()
+	})
+	return keep
+}
+
+// CompositeLadder returns an escalating series of buffer strengths drawn
+// from the non-dominated set, suitable for the buffer-insertion sweep: each
+// entry is strictly stronger (lower Rout) than the previous.
+func (t *Tech) CompositeLadder() []Composite {
+	nd := t.NonDominatedComposites()
+	var out []Composite
+	last := 1e18
+	for _, c := range nd {
+		if c.Rout() < last {
+			out = append(out, c)
+			last = c.Rout()
+		}
+	}
+	return out
+}
+
+// BatchLadder returns compositions of the named inverter type in batches of
+// the given size: batch, 2·batch, 3·batch … up to MaxParallel. The paper
+// uses batches of 8 small inverters (8×, 16×, 24×, …) on the contest
+// benchmarks and batches of large inverters on the TI scalability runs.
+func (t *Tech) BatchLadder(typeName string, batch int) []Composite {
+	var inv *InverterType
+	for i := range t.Inverters {
+		if t.Inverters[i].Name == typeName {
+			inv = &t.Inverters[i]
+		}
+	}
+	if inv == nil || batch <= 0 {
+		return nil
+	}
+	var out []Composite
+	for n := batch; n <= t.MaxParallel; n += batch {
+		out = append(out, Composite{Type: *inv, N: n})
+	}
+	return out
+}
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	Label           string
+	Cin, Cout, Rout float64 // fF, fF, kΩ
+}
+
+// TableI reproduces the paper's inverter analysis table: 1X Large and
+// 1/2/4/8X Small.
+func (t *Tech) TableI() []TableIRow {
+	var large, small *InverterType
+	for i := range t.Inverters {
+		switch t.Inverters[i].Name {
+		case "Large":
+			large = &t.Inverters[i]
+		case "Small":
+			small = &t.Inverters[i]
+		}
+	}
+	var rows []TableIRow
+	if large != nil {
+		c := Composite{Type: *large, N: 1}
+		rows = append(rows, TableIRow{"1X Large", c.Cin(), c.Cout(), c.Rout()})
+	}
+	if small != nil {
+		for _, n := range []int{1, 2, 4, 8} {
+			c := Composite{Type: *small, N: n}
+			rows = append(rows, TableIRow{fmt.Sprintf("%dX Small", n), c.Cin(), c.Cout(), c.Rout()})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,184 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	tk := Default45()
+	rows := tk.TableI()
+	// Paper Table I, resistance converted to kΩ.
+	want := []TableIRow{
+		{"1X Large", 35, 80, 0.0612},
+		{"1X Small", 4.2, 6.1, 0.440},
+		{"2X Small", 8.4, 12.2, 0.220},
+		{"4X Small", 16.8, 24.4, 0.110},
+		{"8X Small", 33.6, 48.8, 0.055},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows=%d want %d", len(rows), len(want))
+	}
+	byLabel := map[string]TableIRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	for _, w := range want {
+		g, ok := byLabel[w.Label]
+		if !ok {
+			t.Fatalf("missing row %q", w.Label)
+		}
+		if math.Abs(g.Cin-w.Cin) > 1e-9 || math.Abs(g.Cout-w.Cout) > 1e-9 || math.Abs(g.Rout-w.Rout) > 1e-6 {
+			t.Errorf("%s: got (%v,%v,%v) want (%v,%v,%v)", w.Label, g.Cin, g.Cout, g.Rout, w.Cin, w.Cout, w.Rout)
+		}
+	}
+}
+
+func TestEightSmallDominatesLarge(t *testing.T) {
+	// The paper's key observation: 8 parallel small inverters have smaller
+	// input cap, smaller output cap AND smaller output resistance than one
+	// large inverter.
+	tk := Default45()
+	var large, small InverterType
+	for _, inv := range tk.Inverters {
+		if inv.Name == "Large" {
+			large = inv
+		} else if inv.Name == "Small" {
+			small = inv
+		}
+	}
+	l := Composite{Type: large, N: 1}
+	s8 := Composite{Type: small, N: 8}
+	if !(s8.Cin() < l.Cin() && s8.Cout() < l.Cout() && s8.Rout() < l.Rout()) {
+		t.Errorf("8x small (%v,%v,%v) should dominate 1x large (%v,%v,%v)",
+			s8.Cin(), s8.Cout(), s8.Rout(), l.Cin(), l.Cout(), l.Rout())
+	}
+	// Therefore every large composite whose 8N-small counterpart is
+	// available must be dominated and absent from the non-dominated set;
+	// larger groups are legitimately kept (no small group that strong).
+	for _, c := range tk.NonDominatedComposites() {
+		if c.Type.Name == "Large" && 8*c.N <= tk.MaxParallel {
+			t.Errorf("large inverter %v should be dominated by %dx small", c, 8*c.N)
+		}
+	}
+}
+
+func TestBatchLadder(t *testing.T) {
+	tk := Default45()
+	small := tk.BatchLadder("Small", 8)
+	if len(small) != tk.MaxParallel/8 {
+		t.Fatalf("small ladder len=%d want %d", len(small), tk.MaxParallel/8)
+	}
+	for i, c := range small {
+		if c.N != 8*(i+1) || c.Type.Name != "Small" {
+			t.Errorf("entry %d = %v, want %dx Small", i, c, 8*(i+1))
+		}
+	}
+	large := tk.BatchLadder("Large", 1)
+	if len(large) != tk.MaxParallel {
+		t.Fatalf("large ladder len=%d", len(large))
+	}
+	if got := tk.BatchLadder("Nonexistent", 1); got != nil {
+		t.Error("unknown type should yield nil ladder")
+	}
+	if got := tk.BatchLadder("Small", 0); got != nil {
+		t.Error("zero batch should yield nil ladder")
+	}
+}
+
+func TestNonDominatedSetIsPareto(t *testing.T) {
+	tk := Default45()
+	nd := tk.NonDominatedComposites()
+	if len(nd) == 0 {
+		t.Fatal("empty non-dominated set")
+	}
+	for i, a := range nd {
+		for j, b := range nd {
+			if i != j && dominated(a, b) {
+				t.Errorf("%v dominated by %v inside ND set", a, b)
+			}
+		}
+	}
+}
+
+func TestCompositeLadderStrictlyStronger(t *testing.T) {
+	tk := Default45()
+	ladder := tk.CompositeLadder()
+	if len(ladder) < 3 {
+		t.Fatalf("ladder too short: %d", len(ladder))
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].Rout() >= ladder[i-1].Rout() {
+			t.Errorf("ladder not strictly stronger at %d: %v then %v", i, ladder[i-1], ladder[i])
+		}
+	}
+}
+
+func TestCompositeScaling(t *testing.T) {
+	inv := InverterType{Name: "x", Cin: 10, Cout: 20, Rout: 1.0}
+	c := Composite{Type: inv, N: 4}
+	if c.Cin() != 40 || c.Cout() != 80 || c.Rout() != 0.25 {
+		t.Errorf("composite scaling wrong: %v %v %v", c.Cin(), c.Cout(), c.Rout())
+	}
+	if c.CapCost() != 120 {
+		t.Errorf("CapCost=%v", c.CapCost())
+	}
+}
+
+func TestRoutAtCorners(t *testing.T) {
+	tk := Default45()
+	c := Composite{Type: tk.Inverters[0], N: 1}
+	rFast := tk.RoutAt(c, 1.2)
+	rSlow := tk.RoutAt(c, 1.0)
+	if math.Abs(rFast-c.Rout()) > 1e-9 {
+		t.Errorf("Rout at reference supply should equal spec: %v vs %v", rFast, c.Rout())
+	}
+	if rSlow <= rFast {
+		t.Errorf("low supply must weaken the driver: %v vs %v", rSlow, rFast)
+	}
+	// Expected ratio (VddRef-Vt)/(Vdd-Vt) = 0.85/0.65.
+	want := rFast * 0.85 / 0.65
+	if math.Abs(rSlow-want) > 1e-9 {
+		t.Errorf("rSlow=%v want %v", rSlow, want)
+	}
+	if r := tk.RoutAt(c, 0.2); r < 1e11 {
+		t.Errorf("sub-threshold supply should give enormous resistance, got %v", r)
+	}
+}
+
+func TestWideNarrow(t *testing.T) {
+	tk := Default45()
+	w, n := tk.Wide(), tk.Narrow()
+	if w == n {
+		t.Fatal("wide and narrow must differ")
+	}
+	if tk.Wires[w].RPerUm >= tk.Wires[n].RPerUm {
+		t.Error("wide wire should have lower resistance")
+	}
+	if tk.Wires[w].CPerUm <= tk.Wires[n].CPerUm {
+		t.Error("wide wire should have higher capacitance")
+	}
+}
+
+func TestSlewSafeCapReasonable(t *testing.T) {
+	tk := Default45()
+	if tk.SlewSafeCap <= 0 {
+		t.Fatal("SlewSafeCap must be positive")
+	}
+	// With the strongest composite (~55 Ω) and a 100 ps limit, the safe cap
+	// should be in the hundreds of fF.
+	if tk.SlewSafeCap < 100 || tk.SlewSafeCap > 10000 {
+		t.Errorf("SlewSafeCap=%v out of plausible range", tk.SlewSafeCap)
+	}
+}
+
+func TestKDriveConsistency(t *testing.T) {
+	tk := Default45()
+	for _, c := range tk.CompositeLadder() {
+		k := tk.KDrive(c)
+		ron := 1 / (2 * k * (tk.VddRef - tk.Vt))
+		if math.Abs(ron-c.Rout()) > 1e-9 {
+			t.Errorf("%v: calibrated Ron %v != spec %v", c, ron, c.Rout())
+		}
+	}
+}

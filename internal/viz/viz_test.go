@@ -1,0 +1,100 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/slack"
+	"contango/internal/tech"
+)
+
+func testTree() *ctree.Tree {
+	tk := tech.Default45()
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	mid := tr.AddChild(tr.Root, ctree.Internal, geom.Pt(500, 500))
+	s1 := tr.AddSink(mid, geom.Pt(900, 500), 30, "a")
+	tr.AddSink(mid, geom.Pt(500, 900), 30, "b")
+	b := tr.InsertOnEdge(s1, 100, ctree.Buffer)
+	comp := tech.Composite{Type: tk.Inverters[1], N: 8}
+	b.Buf = &comp
+	return tr
+}
+
+func TestWriteSVGBasics(t *testing.T) {
+	tr := testTree()
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, tr, Options{
+		Obstacles: []geom.Obstacle{{Rect: geom.NewRect(100, 100, 200, 200)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<path", "<rect", "<circle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two sinks -> two crosses (4-point paths), one buffer rect + one
+	// obstacle rect.
+	if got := strings.Count(out, `stroke="#202020"`); got != 2 {
+		t.Errorf("sink crosses=%d want 2", got)
+	}
+	if got := strings.Count(out, `fill="#3050d0"`); got != 1 {
+		t.Errorf("buffer rects=%d want 1", got)
+	}
+}
+
+func TestWriteSVGWithSlackGradient(t *testing.T) {
+	tr := testTree()
+	res, err := (&analysis.Elmore{}).Evaluate(tr, tr.Tech.Corners[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	slk := slack.Compute(tr, []*analysis.Result{res})
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, tr, Options{Slacks: slk}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") || strings.Count(out, "<path") < 3 {
+		t.Error("expected colored wire paths")
+	}
+	// Critical (zero-slack) edge must be red-dominant.
+	if !strings.Contains(out, gradientColor(0)) {
+		t.Errorf("expected critical color %s in output", gradientColor(0))
+	}
+}
+
+func TestGradientColorEndpoints(t *testing.T) {
+	red := gradientColor(0)
+	green := gradientColor(1)
+	if red == green {
+		t.Fatal("gradient endpoints identical")
+	}
+	if red != "#dc0030" {
+		t.Errorf("red=%s", red)
+	}
+	if green != "#00b430" {
+		t.Errorf("green=%s", green)
+	}
+	if gradientColor(-5) != red || gradientColor(7) != green {
+		t.Error("gradient must clamp")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tk := tech.Default45()
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, tr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("even an empty tree should render a valid document")
+	}
+}
