@@ -3,12 +3,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/service"
 )
 
 func main() {
@@ -17,6 +19,7 @@ func main() {
 	fast := flag.Bool("fast", false, "coarser simulation settings for large instances")
 	large := flag.Bool("large-inverters", false, "use groups of large inverters (TI mode)")
 	svg := flag.String("svg", "", "write the final tree as SVG to this path")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (the contangod wire format)")
 	flag.Parse()
 
 	b, err := loadBench(*name)
@@ -33,19 +36,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchmark %s: %d sinks, %d buffers (%v), %d simulator runs, %v\n",
-		b.Name, len(b.Sinks), res.Buffers, res.Composite, res.Runs, res.Elapsed.Round(1e6))
-	fmt.Printf("legalization: %v\n", res.Legalization)
-	fmt.Printf("polarity: %d inverted sinks -> %d added inverters\n", res.InvertedSinks, res.AddedInverters)
-	for _, s := range res.Stages {
-		fmt.Printf("%-8s %s\n", s.Name, s.Metrics)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(service.ResultToWire(res)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("benchmark %s: %d sinks, %d buffers (%v), %d simulator runs, %v\n",
+			b.Name, len(b.Sinks), res.Buffers, res.Composite, res.Runs, res.Elapsed.Round(1e6))
+		fmt.Printf("legalization: %v\n", res.Legalization)
+		fmt.Printf("polarity: %d inverted sinks -> %d added inverters\n", res.InvertedSinks, res.AddedInverters)
+		for _, s := range res.Stages {
+			fmt.Printf("%-8s %s\n", s.Name, s.Metrics)
+		}
 	}
 	if *svg != "" {
 		if err := writeSVG(res, *svg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *svg)
+		// Keep stdout pure JSON when -json is set.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintf(out, "wrote %s\n", *svg)
 	}
 }
 

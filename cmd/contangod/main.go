@@ -1,0 +1,66 @@
+// Command contangod serves the Contango synthesizer over HTTP: submit
+// jobs and parameter-sweep batches, poll status, stream progress, fetch
+// metrics and SVG renderings. See internal/service.Server for the API.
+//
+// Example:
+//
+//	contangod -addr :8080 -workers 4 &
+//	curl -s localhost:8080/api/v1/jobs -d '{"bench":"ispd09f22"}'
+//	curl -s localhost:8080/api/v1/jobs/job-0001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"contango/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size")
+	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
+	queue := flag.Int("queue", 4096, "max queued jobs")
+	verbose := flag.Bool("v", false, "log job lifecycle to stderr")
+	flag.Parse()
+
+	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue}
+	logf := func(f string, a ...interface{}) {
+		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+f+"\n", a...)
+	}
+	if *verbose {
+		cfg.Log = logf
+	}
+	svc := service.New(cfg)
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-stop
+		logf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		svc.CancelAll()
+		svc.Close()
+	}()
+
+	logf("contangod listening on %s (%d workers, %d cache entries)", *addr, *workers, *cache)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the drain,
+	// job cancellation and worker-pool teardown to actually finish.
+	<-drained
+}

@@ -17,24 +17,32 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Final) // skew, CLR, latency, slew, capacitance
 //
+// Batches of runs go through the concurrent synthesis service — a worker
+// pool with a content-addressed result cache and in-flight deduplication:
+//
+//	svc := contango.NewService(contango.ServiceConfig{Workers: 4})
+//	defer svc.Close()
+//	jobs, _ := svc.SubmitBatch(contango.ISPD09Requests(contango.Options{}))
+//	results, err := contango.WaitJobs(context.Background(), jobs)
+//
+// The same service powers the contangod HTTP server (cmd/contangod).
+//
 // The library is self-contained: it includes its own technology model
 // (tech), RC netlist extraction and closed-form evaluators (analysis), a
 // transient circuit simulator standing in for SPICE (spice), synthetic
 // reconstructions of the ISPD'09 contest and Texas Instruments benchmark
-// suites (bench), and an SVG renderer (viz). See DESIGN.md for the full
-// inventory and EXPERIMENTS.md for the reproduction results.
+// suites (bench), and an SVG renderer (viz). See README.md for a
+// quickstart covering the library, the CLI and the server.
 package contango
 
 import (
+	"context"
 	"io"
 
-	"contango/internal/analysis"
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/eval"
-	"contango/internal/slack"
-	"contango/internal/spice"
-	"contango/internal/viz"
+	"contango/internal/service"
 )
 
 // Options re-exports the flow configuration. The zero value gives the
@@ -65,6 +73,43 @@ func WriteBenchmark(w io.Writer, b *bench.Benchmark) error { return bench.Write(
 // Synthesize runs the full Contango flow on a benchmark.
 func Synthesize(b *bench.Benchmark, o Options) (*Result, error) { return core.Synthesize(b, o) }
 
+// SynthesizeContext runs the full flow honoring ctx: cancellation is
+// checked between stages and before every optimization round, so a killed
+// run stops consuming simulator invocations promptly.
+func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, b, o)
+}
+
+// Service is the concurrent synthesis service: a worker pool running jobs
+// with content-addressed result caching and in-flight deduplication. Use
+// its Submit/SubmitBatch methods and the jobs' Wait.
+type Service = service.Service
+
+// ServiceConfig tunes a Service (worker-pool size, cache capacity, queue
+// depth).
+type ServiceConfig = service.Config
+
+// Job is one tracked synthesis run inside a Service.
+type Job = service.Job
+
+// SynthesisRequest is one unit of a batch submission.
+type SynthesisRequest = service.Request
+
+// ServiceStats is a snapshot of service counters.
+type ServiceStats = service.Stats
+
+// NewService starts a synthesis service with the given configuration.
+// Close it when done.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// ISPD09Requests builds one batch request per ISPD'09 suite benchmark.
+func ISPD09Requests(o Options) []SynthesisRequest { return service.ISPD09Requests(o) }
+
+// WaitJobs waits for every job and returns their results in order.
+func WaitJobs(ctx context.Context, jobs []*Job) ([]*Result, error) {
+	return service.WaitAll(ctx, jobs)
+}
+
 // BaselineKind selects a contest-style comparison flow.
 type BaselineKind = core.BaselineKind
 
@@ -83,20 +128,4 @@ func SynthesizeBaseline(b *bench.Benchmark, kind BaselineKind, o Options) (*Resu
 
 // RenderSVG writes the result's clock tree as an SVG in the style of the
 // paper's Figure 3, with wires colored by slow-down slack.
-func RenderSVG(w io.Writer, res *Result) error {
-	eng := spice.New()
-	var rs []*analysis.Result
-	for _, c := range res.Tree.Tech.Corners {
-		r, err := eng.Evaluate(res.Tree, c)
-		if err != nil {
-			return err
-		}
-		rs = append(rs, r)
-	}
-	slk := slack.Compute(res.Tree, rs)
-	return viz.WriteSVG(w, res.Tree, viz.Options{
-		Slacks:    slk,
-		Obstacles: res.Benchmark.Obstacles,
-		Die:       res.Benchmark.Die,
-	})
-}
+func RenderSVG(w io.Writer, res *Result) error { return core.RenderSVG(w, res) }

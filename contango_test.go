@@ -2,6 +2,7 @@ package contango
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,47 @@ func TestPublicSynthesizeAndRender(t *testing.T) {
 	}
 	if base.Final.Skew < res.Final.Skew {
 		t.Errorf("greedy baseline (%v) beat the full flow (%v)", base.Final.Skew, res.Final.Skew)
+	}
+}
+
+func TestServicePublicSurface(t *testing.T) {
+	svc := NewService(ServiceConfig{Workers: 2})
+	defer svc.Close()
+
+	b, _ := Benchmark("ispd09f22")
+	b.Sinks = b.Sinks[:10]
+	opts := Options{
+		MaxRounds:  1,
+		Cycles:     1,
+		SkipStages: map[string]bool{"tbsz": true, "twsz": true, "twsn": true, "bwsn": true},
+	}
+	jobs, err := svc.SubmitBatch([]SynthesisRequest{{Bench: b, Opts: opts}, {Bench: b, Opts: opts}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := WaitJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0] == nil {
+		t.Fatalf("results = %v", results)
+	}
+	// The two identical requests deduped: either coalesced onto one job,
+	// or (if the first finished between the submits) served from cache.
+	if jobs[0] != jobs[1] && !jobs[1].CacheHit() {
+		t.Error("identical batch entries should coalesce or hit the cache")
+	}
+	var st ServiceStats = svc.Stats()
+	if st.Submitted != 2 || st.Coalesced+st.CacheHits != 1 {
+		t.Errorf("dedup accounting off: %+v", st)
+	}
+}
+
+func TestSynthesizeContextPublic(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, _ := Benchmark("ispd09f22")
+	if _, err := SynthesizeContext(ctx, b, Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,3 @@
+module contango
+
+go 1.21

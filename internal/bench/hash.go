@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash returns a stable content address for the benchmark: the SHA-256 of
+// its canonical text serialization (the Write format is deterministic —
+// fixed directive order, %g number formatting). Two benchmarks with the
+// same sinks, die, source, obstacles and budget hash identically regardless
+// of how they were constructed, which is what lets the service layer dedupe
+// repeated submissions of generated suites and uploaded files alike.
+func (b *Benchmark) Hash() string {
+	h := sha256.New()
+	// Write only fails on the underlying writer's error; sha256 never errors.
+	_ = Write(h, b)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+func TestHashDeterministicAndContentSensitive(t *testing.T) {
+	b1, err := ISPD09("ispd09f22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := ISPD09("ispd09f22")
+	if b1.Hash() != b2.Hash() {
+		t.Error("regenerated benchmark changed its content hash")
+	}
+	other, _ := ISPD09("ispd09f11")
+	if b1.Hash() == other.Hash() {
+		t.Error("different benchmarks share a hash")
+	}
+	// Any content change moves the hash.
+	b2.Sinks[0].Cap += 1
+	if b1.Hash() == b2.Hash() {
+		t.Error("sink capacitance change did not move the hash")
+	}
+	b3, _ := ISPD09("ispd09f22")
+	b3.CapLimit *= 2
+	if b1.Hash() == b3.Hash() {
+		t.Error("cap-limit change did not move the hash")
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"strings"
 	"testing"
 
 	"contango/internal/bench"
@@ -163,5 +166,47 @@ func TestLargeInvertersMode(t *testing.T) {
 	}
 	if res.Composite.Type.Name != "Large" {
 		t.Errorf("composite %v, want a Large group", res.Composite)
+	}
+}
+
+func TestSynthesizeContextCancellation(t *testing.T) {
+	b := tinyBench()
+
+	// Already-canceled context: no work at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := spice.New()
+	if _, err := SynthesizeContext(ctx, b, Options{Engine: eng}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if eng.Runs != 0 {
+		t.Errorf("pre-canceled run performed %d simulations", eng.Runs)
+	}
+
+	// Cancel mid-cascade from the progress hook: the flow must stop at the
+	// next checkpoint instead of finishing the cascade.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	eng2 := spice.New()
+	o := Options{Engine: eng2, MaxRounds: 16}
+	o.Log = func(format string, args ...interface{}) {
+		if strings.Contains(fmt.Sprintf(format, args...), "[INITIAL]") {
+			cancel2()
+		}
+	}
+	if _, err := SynthesizeContext(ctx2, b, o); err != context.Canceled {
+		t.Fatalf("mid-run err = %v, want context.Canceled", err)
+	}
+	runsAtCancel := eng2.Runs
+	if runsAtCancel == 0 {
+		t.Error("cascade canceled before the initial evaluation?")
+	}
+	// A full run needs strictly more evaluations than the canceled one.
+	eng3 := spice.New()
+	if _, err := Synthesize(b, Options{Engine: eng3, MaxRounds: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if eng3.Runs <= runsAtCancel {
+		t.Errorf("cancellation saved nothing: canceled %d vs full %d runs", runsAtCancel, eng3.Runs)
 	}
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,11 +60,30 @@ type Options struct {
 	Log func(format string, args ...interface{})
 }
 
+// defaultCycles is the extra wire-pass convergence budget when unset.
+const defaultCycles = 3
+
 func (o *Options) extraCycles() int {
 	if o.Cycles <= 0 {
-		return 3
+		return defaultCycles
 	}
 	return o.Cycles
+}
+
+// Resolve returns a copy of the options with every defaulted knob made
+// explicit: technology model, engine, capacitance reserve, ladder, round
+// and cycle budgets. The flow itself runs on resolved options and the
+// service layer fingerprints them for its result cache, so the two can
+// never disagree about what a zero value means.
+func (o Options) Resolve() Options {
+	o.fill()
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = opt.DefaultMaxRounds
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = defaultCycles
+	}
+	return o
 }
 
 // StageRecord captures metrics after one flow stage (a Table III row entry).
@@ -120,9 +140,21 @@ func (o *Options) logf(format string, args ...interface{}) {
 
 // Synthesize runs the full Contango flow on a benchmark.
 func Synthesize(b *bench.Benchmark, o Options) (*Result, error) {
-	o.fill()
+	return SynthesizeContext(context.Background(), b, o)
+}
+
+// SynthesizeContext runs the full Contango flow on a benchmark, honoring
+// ctx: cancellation is checked between flow stages and before every
+// improvement round of the optimization cascade, so a killed run stops
+// burning simulator invocations promptly. On cancellation the context's
+// error is returned and the partial tree is discarded.
+func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Result, error) {
+	o = o.Resolve()
 	start := time.Now()
 	res := &Result{Benchmark: b}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// 1. Initial zero-skew tree (ZST/DME).
 	tr := dme.BuildZST(o.Tech, b.Source, b.Sinks, dme.Options{})
@@ -173,7 +205,7 @@ func Synthesize(b *bench.Benchmark, o Options) (*Result, error) {
 	// range because each pass converges in a handful of rounds.
 	cx := &opt.Context{
 		Tree: tr, Eng: o.Engine, Obs: obs, CapLimit: b.CapLimit,
-		MaxRounds: o.MaxRounds, Log: o.Log,
+		MaxRounds: o.MaxRounds, Log: o.Log, Check: ctx.Err,
 	}
 	record := func(name string) error {
 		_, m, err := cx.Baseline()
@@ -222,7 +254,13 @@ func Synthesize(b *bench.Benchmark, o Options) (*Result, error) {
 		if o.SkipStages[lower(st.name)] {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := st.run(cx); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("%s: %w", st.name, err)
 		}
 		if err := record(st.name); err != nil {
@@ -239,7 +277,13 @@ func Synthesize(b *bench.Benchmark, o Options) (*Result, error) {
 			if o.SkipStages[lower(st.name)] {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := st.run(cx); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				return nil, fmt.Errorf("cycle %d %s: %w", cycle, st.name, err)
 			}
 		}
@@ -286,13 +330,9 @@ func CNEOnly(tr *ctree.Tree, eng *spice.Engine, capLimit float64) (eval.Metrics,
 	if eng == nil {
 		eng = spice.New()
 	}
-	var rs []*analysis.Result
-	for _, c := range tr.Tech.Corners {
-		r, err := eng.Evaluate(tr, c)
-		if err != nil {
-			return eval.Metrics{}, nil, err
-		}
-		rs = append(rs, r)
+	rs, err := eng.EvaluateAll(tr)
+	if err != nil {
+		return eval.Metrics{}, nil, err
 	}
 	return eval.FromResults(tr, rs, capLimit), rs, nil
 }

@@ -59,6 +59,10 @@ type Context struct {
 	// MinGain is the smallest objective improvement (ps) that counts
 	// (default 0.05).
 	MinGain float64
+	// Check, when non-nil, is consulted before every improvement round; a
+	// non-nil error aborts the pass immediately (context cancellation from
+	// the service layer, so killed jobs stop burning simulator runs).
+	Check func() error
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...interface{})
 
@@ -68,9 +72,13 @@ type Context struct {
 	haveCNE     bool
 }
 
+// DefaultMaxRounds is the per-pass round budget used when MaxRounds is
+// unset (core.Options.Resolve makes it explicit).
+const DefaultMaxRounds = 16
+
 func (cx *Context) rounds() int {
 	if cx.MaxRounds <= 0 {
-		return 16
+		return DefaultMaxRounds
 	}
 	return cx.MaxRounds
 }
@@ -156,6 +164,11 @@ func (cx *Context) improveLoop(name string, obj Objective, mutate func(res []*an
 	best := obj.value(m)
 	baseM := m
 	for round := 0; round < cx.rounds(); round++ {
+		if cx.Check != nil {
+			if err := cx.Check(); err != nil {
+				return err
+			}
+		}
 		snap := cx.Tree.Clone()
 		snapRes, snapM := cx.lastResults, cx.lastMetrics
 		if !mutate(res) {

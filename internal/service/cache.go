@@ -1,0 +1,70 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"contango/internal/core"
+)
+
+// resultCache is a content-addressed LRU cache of finished synthesis
+// results. Keys are JobKey content addresses, so a hit is exact: the same
+// benchmark bytes and the same canonicalized options. Values are shared
+// *core.Result pointers and must be treated as read-only by callers.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// newResultCache returns a cache holding up to max entries (max >= 1).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *resultCache) Get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Add inserts (or refreshes) a result, evicting the least recently used
+// entries beyond capacity.
+func (c *resultCache) Add(key string, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"contango/internal/bench"
+)
+
+// Server is the contangod HTTP front end over a Service.
+//
+//	POST   /api/v1/jobs          submit one job (SubmitRequest) -> JobWire
+//	GET    /api/v1/jobs          list jobs -> []JobWire
+//	POST   /api/v1/batches       submit a batch (BatchRequest) -> {jobs: []JobWire}
+//	GET    /api/v1/jobs/{id}         job status -> JobWire
+//	DELETE /api/v1/jobs/{id}         cancel -> JobWire
+//	GET    /api/v1/jobs/{id}/result  finished result -> ResultWire
+//	GET    /api/v1/jobs/{id}/log     buffered progress lines -> {lines: []string}
+//	GET    /api/v1/jobs/{id}/svg     rendered clock tree (image/svg+xml)
+//	GET    /api/v1/jobs/{id}/events  server-sent progress events
+//	GET    /api/v1/benchmarks    named benchmarks -> {benchmarks: []string}
+//	GET    /api/v1/stats         service counters -> Stats
+//	GET    /healthz              liveness probe
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps a Service in the contangod HTTP API.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/api/v1/batches", s.handleBatches)
+	s.mux.HandleFunc("/api/v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		jobs := s.svc.Jobs()
+		out := make([]*JobWire, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.Wire()
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		b, err := resolveBench(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		j, err := s.svc.Submit(b, req.Options.Options())
+		if err != nil {
+			writeError(w, submitErrCode(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.Wire())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func submitErrCode(err error) int {
+	switch err {
+	case ErrQueueFull:
+		return http.StatusTooManyRequests
+	case ErrClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func resolveBench(req SubmitRequest) (*bench.Benchmark, error) {
+	switch {
+	case req.Bench != "" && req.BenchText != "":
+		return nil, fmt.Errorf("specify bench or bench_text, not both")
+	case req.Bench != "":
+		return bench.ISPD09(req.Bench)
+	case req.BenchText != "":
+		return bench.Read(strings.NewReader(req.BenchText))
+	default:
+		return nil, fmt.Errorf("missing bench or bench_text")
+	}
+}
+
+func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	reqs, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := s.svc.SubmitBatch(reqs)
+	if err != nil {
+		writeError(w, submitErrCode(err), "%v", err)
+		return
+	}
+	out := make([]*JobWire, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Wire()
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	id, sub := rest, ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		id, sub = rest[:i], rest[i+1:]
+	}
+	j, ok := s.svc.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.Wire())
+	case sub == "" && r.Method == http.MethodDelete:
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Wire())
+	case sub == "result" && r.Method == http.MethodGet:
+		s.serveResult(w, j)
+	case sub == "log" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]interface{}{"lines": j.Logs()})
+	case sub == "svg" && r.Method == http.MethodGet:
+		s.serveSVG(w, j)
+	case sub == "events" && r.Method == http.MethodGet:
+		s.serveEvents(w, r, j)
+	default:
+		writeError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+	}
+}
+
+func (s *Server) serveResult(w http.ResponseWriter, j *Job) {
+	res, err := j.Result()
+	switch {
+	case err != nil:
+		writeError(w, http.StatusConflict, "job %s %s: %v", j.ID(), j.State(), err)
+	case res == nil:
+		writeError(w, http.StatusConflict, "job %s still %s", j.ID(), j.State())
+	default:
+		writeJSON(w, http.StatusOK, ResultToWire(res))
+	}
+}
+
+func (s *Server) serveSVG(w http.ResponseWriter, j *Job) {
+	svg, err := j.SVG() // rendered once per job, cached
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(svg)
+}
+
+// serveEvents streams the job's progress log as server-sent events: one
+// "log" event per line (buffered lines replay first), then a final "state"
+// event carrying the terminal JobWire.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	past, ch, cancel := j.Subscribe(256)
+	defer cancel()
+	for _, line := range past {
+		sseEvent(w, "log", line)
+	}
+	fl.Flush()
+	for {
+		select {
+		case line, open := <-ch:
+			if !open { // job finished
+				state, _ := json.Marshal(j.Wire())
+				sseEvent(w, "state", string(state))
+				fl.Flush()
+				return
+			}
+			sseEvent(w, "log", line)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func sseEvent(w http.ResponseWriter, event, data string) {
+	fmt.Fprintf(w, "event: %s\n", event)
+	for _, line := range strings.Split(data, "\n") {
+		fmt.Fprintf(w, "data: %s\n", line)
+	}
+	fmt.Fprint(w, "\n")
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"benchmarks": bench.ISPD09Names()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}

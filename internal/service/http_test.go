@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"contango/internal/bench"
+)
+
+func testServer(t *testing.T, workers int) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(Config{Workers: workers})
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.CancelAll()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func benchText(t *testing.T, name string, variant int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, tinyBench(name, variant)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode(t *testing.T, resp *http.Response, wantCode int, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantCode, raw)
+	}
+	if v != nil {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("bad JSON: %v: %s", err, raw)
+		}
+	}
+}
+
+func pollDone(t *testing.T, baseURL, id string) JobWire {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jw JobWire
+		decode(t, resp, http.StatusOK, &jw)
+		if jw.State.Finished() {
+			return jw
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobWire{}
+}
+
+func TestHTTPJobRoundTrip(t *testing.T) {
+	ts, _ := testServer(t, 2)
+
+	// Submit an inline benchmark.
+	req := SubmitRequest{
+		BenchText: benchText(t, "http-tiny", 0),
+		Options:   OptionsWire{MaxRounds: 1, Cycles: 1, SkipStages: []string{"tbsz", "twsz", "twsn", "bwsn"}},
+	}
+	var jw JobWire
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", req), http.StatusAccepted, &jw)
+	if jw.ID == "" || jw.Benchmark != "http-tiny" || jw.Sinks != 8 {
+		t.Fatalf("bad job wire: %+v", jw)
+	}
+
+	done := pollDone(t, ts.URL, jw.ID)
+	if done.State != Done {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Final.TotalCapFF <= 0 {
+		t.Fatalf("missing result payload: %+v", done.Result)
+	}
+
+	// Result endpoint.
+	var rw ResultWire
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusOK, &rw)
+	if rw.Benchmark != "http-tiny" || len(rw.Stages) == 0 || rw.Runs <= 0 {
+		t.Fatalf("bad result wire: %+v", rw)
+	}
+
+	// Progress log.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs struct {
+		Lines []string `json:"lines"`
+	}
+	decode(t, resp, http.StatusOK, &logs)
+	if len(logs.Lines) == 0 {
+		t.Error("no progress lines recorded")
+	}
+
+	// SVG rendering.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("svg: status %d type %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("svg body missing <svg element")
+	}
+
+	// Server-sent events replay for a finished job: logs then a state event.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events content-type %s", ct)
+	}
+	if !strings.Contains(string(events), "event: log") || !strings.Contains(string(events), "event: state") {
+		t.Errorf("event stream missing log/state events:\n%s", events)
+	}
+
+	// Job listing and stats.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobWire
+	decode(t, resp, http.StatusOK, &list)
+	if len(list) != 1 {
+		t.Errorf("listed %d jobs, want 1", len(list))
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	decode(t, resp, http.StatusOK, &st)
+	if st.Completed < 1 || st.SimRuns <= 0 {
+		t.Errorf("stats not accounting: %+v", st)
+	}
+}
+
+func TestHTTPBatchSweepAndCache(t *testing.T) {
+	ts, svc := testServer(t, 4)
+
+	req := BatchRequest{
+		BenchTexts: []string{benchText(t, "hb-0", 0), benchText(t, "hb-1", 1)},
+		Options:    OptionsWire{MaxRounds: 1, Cycles: 1, SkipStages: []string{"tbsz", "twsz", "twsn", "bwsn"}},
+		Sweep:      &Sweep{Gammas: []float64{0.1, 0.15}},
+	}
+	var out struct {
+		Jobs []JobWire `json:"jobs"`
+	}
+	decode(t, postJSON(t, ts.URL+"/api/v1/batches", req), http.StatusAccepted, &out)
+	if len(out.Jobs) != 4 { // 2 benches x 2 gammas
+		t.Fatalf("batch produced %d jobs, want 4", len(out.Jobs))
+	}
+	for _, jw := range out.Jobs {
+		pollDone(t, ts.URL, jw.ID)
+	}
+	simRuns := svc.Stats().SimRuns
+
+	// The identical batch again: all four served from cache.
+	decode(t, postJSON(t, ts.URL+"/api/v1/batches", req), http.StatusAccepted, &out)
+	for _, jw := range out.Jobs {
+		done := pollDone(t, ts.URL, jw.ID)
+		if !done.CacheHit {
+			t.Errorf("job %s not a cache hit on resubmission", jw.ID)
+		}
+	}
+	if st := svc.Stats(); st.SimRuns != simRuns {
+		t.Errorf("cached batch burned simulator runs: %d -> %d", simRuns, st.SimRuns)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := testServer(t, 1)
+
+	// Unknown job.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+
+	// Unknown benchmark name.
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{Bench: "not-a-bench"}),
+		http.StatusBadRequest, nil)
+
+	// Missing benchmark entirely.
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{}), http.StatusBadRequest, nil)
+
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusBadRequest, nil)
+
+	// Batch naming no benchmarks.
+	decode(t, postJSON(t, ts.URL+"/api/v1/batches", BatchRequest{}), http.StatusBadRequest, nil)
+
+	// Method checks.
+	resp, err = http.Get(ts.URL + "/api/v1/batches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusMethodNotAllowed, nil)
+
+	// Benchmarks listing works.
+	resp, err = http.Get(ts.URL + "/api/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	decode(t, resp, http.StatusOK, &names)
+	if len(names.Benchmarks) != 7 {
+		t.Errorf("benchmarks = %d, want 7", len(names.Benchmarks))
+	}
+
+	// Health probe.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusOK, nil)
+}
+
+func TestHTTPResultBeforeDone(t *testing.T) {
+	ts, svc := testServer(t, 1)
+
+	hold := make(chan struct{})
+	defer close(hold)
+	// Occupy the only worker so the HTTP-submitted job stays queued.
+	blockOpts := fastOpts()
+	blockOpts.Log = func(string, ...interface{}) {
+		<-hold
+	}
+	if _, err := svc.Submit(tinyBench("holder", 0), blockOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	var jw JobWire
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{
+		BenchText: benchText(t, "queued-job", 3),
+		Options:   OptionsWire{MaxRounds: 1, Cycles: 1},
+	}), http.StatusAccepted, &jw)
+
+	// Result and SVG for an unfinished job: 409.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusConflict, nil)
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusConflict, nil)
+
+	// Cancel it over HTTP.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+jw.ID, nil)
+	resp, err = http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled JobWire
+	decode(t, resp, http.StatusOK, &canceled)
+	if canceled.State != Canceled {
+		t.Errorf("state after DELETE = %s, want canceled", canceled.State)
+	}
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"contango/internal/bench"
+	"contango/internal/core"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// Queued jobs wait for a free worker.
+	Queued State = "queued"
+	// Running jobs are executing the synthesis flow on a worker.
+	Running State = "running"
+	// Done jobs finished successfully and carry a Result.
+	Done State = "done"
+	// Failed jobs ended with a synthesis error.
+	Failed State = "failed"
+	// Canceled jobs were stopped before completing.
+	Canceled State = "canceled"
+)
+
+// Finished reports whether the state is terminal.
+func (s State) Finished() bool { return s == Done || s == Failed || s == Canceled }
+
+// maxJobLogLines bounds the per-job progress buffer; the oldest lines are
+// dropped once a job logs more than this.
+const maxJobLogLines = 2000
+
+// Job tracks one synthesis run through the service: its content-address
+// key, lifecycle state, progress log, and eventual result. Identical
+// submissions (same benchmark content and canonicalized options) coalesce
+// onto one Job, so two callers may hold the same *Job.
+type Job struct {
+	id        string
+	key       string
+	benchmark *bench.Benchmark
+	opts      core.Options
+	submitted time.Time
+
+	svc  *Service
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	cacheHit bool
+	result   *core.Result
+	err      error
+	logs     []string
+	dropped  int // log lines discarded from the front of the ring
+	subs     map[int]chan string
+	nextSub  int
+	cancel   context.CancelFunc
+
+	// Rendering a finished tree re-runs the multi-corner simulation, so
+	// the SVG is produced once per job and the bytes reused.
+	svgOnce sync.Once
+	svgData []byte
+	svgErr  error
+}
+
+// ID returns the service-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's content address: a stable hash of the benchmark
+// plus canonicalized options. Jobs with equal keys compute equal results.
+func (j *Job) Key() string { return j.key }
+
+// Benchmark returns the benchmark the job synthesizes.
+func (j *Job) Benchmark() *bench.Benchmark { return j.benchmark }
+
+// Submitted returns the submission time.
+func (j *Job) Submitted() time.Time { return j.submitted }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// CacheHit reports whether the job was served from the result cache
+// without running the synthesizer.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the synthesis result once the job is Done. Before
+// completion it returns (nil, nil); after a failure or cancellation it
+// returns (nil, err). The returned Result is shared (possibly cached):
+// treat it as read-only.
+func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Wait blocks until the job finishes or ctx is canceled, then returns the
+// result. Canceling ctx abandons the wait only; it does not cancel the job.
+func (j *Job) Wait(ctx context.Context) (*core.Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel stops the job: a queued job completes immediately as Canceled, a
+// running job has its context canceled and stops at the next cascade
+// checkpoint (no further simulator runs are started). Canceling a finished
+// job is a no-op. Note that coalesced submitters share the Job, so Cancel
+// cancels it for all of them.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	switch j.state {
+	case Queued:
+		j.finishLocked(Canceled, nil, context.Canceled)
+		j.mu.Unlock()
+		j.svc.jobFinished(j, Canceled, nil)
+		return
+	case Running:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Logs returns a copy of the buffered progress lines.
+func (j *Job) Logs() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, len(j.logs))
+	copy(out, j.logs)
+	return out
+}
+
+// Subscribe registers a progress listener: past returns the lines logged so
+// far, and ch streams subsequent lines until the job finishes (the channel
+// is then closed). Slow consumers never block the synthesis worker — lines
+// overflowing the channel buffer are dropped. The returned cancel func
+// must be called to release the subscription if the consumer leaves early.
+func (j *Job) Subscribe(buffer int) (past []string, ch <-chan string, cancel func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	past = make([]string, len(j.logs))
+	copy(past, j.logs)
+	c := make(chan string, buffer)
+	if j.state.Finished() {
+		close(c)
+		return past, c, func() {}
+	}
+	if j.subs == nil {
+		j.subs = make(map[int]chan string)
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = c
+	return past, c, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if sub, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(sub)
+		}
+	}
+}
+
+// appendLog records one progress line and fans it out to subscribers.
+func (j *Job) appendLog(line string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.logs = append(j.logs, line)
+	if len(j.logs) > maxJobLogLines {
+		drop := len(j.logs) - maxJobLogLines
+		j.logs = append(j.logs[:0], j.logs[drop:]...)
+		j.dropped += drop
+	}
+	for _, c := range j.subs {
+		select {
+		case c <- line:
+		default: // slow consumer: drop rather than stall the worker
+		}
+	}
+}
+
+// finishLocked transitions to a terminal state, publishes the outcome and
+// releases subscribers. Callers hold j.mu and must then notify the service.
+func (j *Job) finishLocked(st State, res *core.Result, err error) {
+	if j.state.Finished() {
+		return
+	}
+	j.state = st
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	for id, c := range j.subs {
+		delete(j.subs, id)
+		close(c)
+	}
+	close(j.done)
+}
+
+// SVG renders the finished job's clock tree with slack coloring. The
+// rendering (which re-simulates the tree at every corner) runs at most
+// once; subsequent calls return the cached bytes. It fails if the job has
+// not completed successfully.
+func (j *Job) SVG() ([]byte, error) {
+	res, err := j.Result()
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("service: job %s is %s; no tree to render", j.id, j.State())
+	}
+	j.svgOnce.Do(func() {
+		var buf bytes.Buffer
+		if err := core.RenderSVG(&buf, res); err != nil {
+			j.svgErr = err
+			return
+		}
+		j.svgData = buf.Bytes()
+	})
+	return j.svgData, j.svgErr
+}
+
+// Elapsed returns how long the job ran (so far, if still running).
+func (j *Job) Elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.started.IsZero():
+		return 0
+	case j.finished.IsZero():
+		return time.Since(j.started)
+	default:
+		return j.finished.Sub(j.started)
+	}
+}

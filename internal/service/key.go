@@ -1,0 +1,58 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"contango/internal/bench"
+	"contango/internal/core"
+)
+
+// OptionsFingerprint canonicalizes the knobs of a synthesis configuration
+// that influence the result and renders them as a stable string. The
+// options are resolved through core.Options.Resolve first — the same code
+// the flow itself runs on — so the zero Options and an Options spelling
+// out the paper's defaults fingerprint identically, and a future change to
+// a default can never alias cached results computed under the old one.
+// Map iteration order, function hooks (Log) and the engine's mutable run
+// counter never leak in.
+func OptionsFingerprint(o core.Options) string {
+	r := o.Resolve()
+	var b strings.Builder
+	techSum := sha256.Sum256([]byte(fmt.Sprintf("%+v", *r.Tech)))
+	fmt.Fprintf(&b, "tech=%s", hex.EncodeToString(techSum[:8]))
+	fmt.Fprintf(&b, ";eng=%g,%g,%g,%g", r.Engine.MaxSeg, r.Engine.Dt, r.Engine.SourceSlew, r.Engine.SettleTol)
+	fmt.Fprintf(&b, ";gamma=%g;rounds=%d;cycles=%d;bufstep=%g", r.Gamma, r.MaxRounds, r.Cycles, r.BufferStep)
+	b.WriteString(";ladder=")
+	for i, c := range r.Ladder {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%dx%s(%g/%g/%g)", c.N, c.Type.Name, c.Type.Cin, c.Type.Cout, c.Type.Rout)
+	}
+	// Skipped stages, sorted for stable map order.
+	var skips []string
+	for name, on := range r.SkipStages {
+		if on {
+			skips = append(skips, strings.ToLower(name))
+		}
+	}
+	sort.Strings(skips)
+	fmt.Fprintf(&b, ";skip=%s", strings.Join(skips, ","))
+	return b.String()
+}
+
+// JobKey returns the content address of a synthesis run: a SHA-256 over
+// the benchmark's canonical serialization and the options fingerprint.
+// Equal keys mean equal results, which is what the result cache and
+// in-flight deduplication key on.
+func JobKey(b *bench.Benchmark, o core.Options) string {
+	h := sha256.New()
+	h.Write([]byte(b.Hash()))
+	h.Write([]byte{0})
+	h.Write([]byte(OptionsFingerprint(o)))
+	return hex.EncodeToString(h.Sum(nil))
+}

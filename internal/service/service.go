@@ -1,0 +1,372 @@
+// Package service turns the single-run Contango synthesizer into a
+// concurrent batch service: a job manager with a fixed worker pool runs
+// core.Synthesize jobs in parallel, a content-addressed LRU result cache
+// dedupes repeated submissions (hash of benchmark bytes + canonicalized
+// options), identical in-flight submissions coalesce onto one run, and
+// every job streams its progress log to subscribers. The HTTP front end in
+// this package (Server) exposes the same operations as the contangod JSON
+// API; contango.go re-exports the library surface.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"contango/internal/bench"
+	"contango/internal/core"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Workers is the worker-pool size (default: min(GOMAXPROCS, 4)).
+	Workers int
+	// CacheEntries bounds the result cache (default 256; negative disables
+	// caching entirely).
+	CacheEntries int
+	// QueueDepth bounds the number of jobs waiting for a worker (default
+	// 4096). Submissions beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// Log, when non-nil, receives service lifecycle lines (job started,
+	// finished, cache hits). Per-job progress goes to the job's own log.
+	Log func(format string, args ...interface{})
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 4 {
+			c.Workers = 4
+		}
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+}
+
+// Errors returned by submission.
+var (
+	ErrClosed    = errors.New("service: closed")
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrNoBench   = errors.New("service: nil or empty benchmark")
+)
+
+// Request is one unit of batch submission.
+type Request struct {
+	Bench *bench.Benchmark
+	Opts  core.Options
+}
+
+// Stats is a snapshot of service counters.
+type Stats struct {
+	Workers      int `json:"workers"`
+	QueueLen     int `json:"queue_len"`
+	Jobs         int `json:"jobs"`
+	Submitted    int `json:"submitted"`
+	Coalesced    int `json:"coalesced"`  // submissions joined to an in-flight identical job
+	CacheHits    int `json:"cache_hits"` // submissions served from the result cache
+	CacheEntries int `json:"cache_entries"`
+	Completed    int `json:"completed"`
+	Failed       int `json:"failed"`
+	Canceled     int `json:"canceled"`
+	SimRuns      int `json:"sim_runs"` // accurate-simulator invocations across executed jobs
+}
+
+// Service runs synthesis jobs on a worker pool with content-addressed
+// result caching and in-flight deduplication. Create one with New and
+// release it with Close.
+type Service struct {
+	cfg   Config
+	queue chan *Job
+	cache *resultCache // nil when caching is disabled
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*Job // by ID
+	order    []*Job          // submission order
+	inflight map[string]*Job // by content key, queued or running
+	stats    Stats
+}
+
+// New starts a Service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Service) logf(format string, args ...interface{}) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// Submit enqueues one synthesis run and returns its Job immediately.
+// Submissions dedupe by content: if the identical run (same benchmark
+// bytes, same canonicalized options) is already queued or running, the
+// existing Job is returned; if its result is cached, a Job completed as a
+// cache hit is returned without touching the worker pool. Opts.Engine
+// should normally be left nil so every executed job gets its own simulator
+// instance; a caller-shared Engine is used as-is and is not safe across
+// concurrent jobs.
+func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
+	if b == nil || len(b.Sinks) == 0 {
+		return nil, ErrNoBench
+	}
+	key := JobKey(b, o)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.stats.Submitted++
+
+	// In-flight coalescing: an identical queued/running job serves this
+	// submission too.
+	if live, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		return live, nil
+	}
+
+	j := &Job{
+		id:        fmt.Sprintf("job-%04d", s.seq+1),
+		key:       key,
+		benchmark: b,
+		opts:      o,
+		submitted: time.Now(),
+		svc:       s,
+		state:     Queued,
+		done:      make(chan struct{}),
+	}
+	s.seq++
+
+	// Result cache: complete instantly, off-pool.
+	if s.cache != nil {
+		if res, ok := s.cache.Get(key); ok {
+			s.stats.CacheHits++
+			s.stats.Completed++
+			j.cacheHit = true
+			j.started = j.submitted
+			j.mu.Lock()
+			j.finishLocked(Done, res, nil)
+			j.mu.Unlock()
+			s.jobs[j.id] = j
+			s.order = append(s.order, j)
+			s.mu.Unlock()
+			j.appendLog(fmt.Sprintf("%s: served from result cache", b.Name))
+			s.logf("job %s: cache hit for %s", j.id, b.Name)
+			return j, nil
+		}
+	}
+
+	select {
+	case s.queue <- j:
+	default:
+		s.stats.Submitted--
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.inflight[key] = j
+	s.mu.Unlock()
+	s.logf("job %s: queued %s (%d sinks)", j.id, b.Name, len(b.Sinks))
+	return j, nil
+}
+
+// SubmitBatch submits every request, returning one Job per request in
+// order. Requests that dedupe against the cache or an in-flight run still
+// produce an entry (possibly the same *Job several times). On a submission
+// error the jobs submitted so far are returned alongside it.
+func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
+	jobs := make([]*Job, 0, len(reqs))
+	for i, r := range reqs {
+		j, err := s.Submit(r.Bench, r.Opts)
+		if err != nil {
+			return jobs, fmt.Errorf("batch request %d (%s): %w", i, benchName(r.Bench), err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+func benchName(b *bench.Benchmark) string {
+	if b == nil {
+		return "<nil>"
+	}
+	return b.Name
+}
+
+// WaitAll waits for every job (duplicates allowed) and returns their
+// results in order. The first failure or cancellation aborts the wait and
+// is returned; canceling ctx abandons the wait without canceling the jobs.
+func WaitAll(ctx context.Context, jobs []*Job) ([]*core.Result, error) {
+	out := make([]*core.Result, len(jobs))
+	for i, j := range jobs {
+		res, err := j.Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", j.ID(), err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Workers = s.cfg.Workers
+	st.QueueLen = len(s.queue)
+	st.Jobs = len(s.jobs)
+	if s.cache != nil {
+		st.CacheEntries = s.cache.Len()
+	}
+	return st
+}
+
+// Close stops accepting submissions, drains the queue (already-queued jobs
+// still run) and waits for the workers to exit. Use CancelAll first for a
+// fast shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// CancelAll cancels every queued or running job.
+func (s *Service) CancelAll() {
+	for _, j := range s.Jobs() {
+		j.Cancel()
+	}
+}
+
+// worker pulls jobs off the queue until the service closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job on the calling worker.
+func (s *Service) run(j *Job) {
+	j.mu.Lock()
+	if j.state != Queued { // canceled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.state = Running
+	j.started = time.Now()
+	o := j.opts
+	j.mu.Unlock()
+	defer cancel()
+	s.logf("job %s: running %s", j.id, j.benchmark.Name)
+
+	// Fan the flow's progress lines into the job's own log (and through to
+	// any Log hook the submitter installed).
+	userLog := o.Log
+	o.Log = func(format string, args ...interface{}) {
+		j.appendLog(fmt.Sprintf(format, args...))
+		if userLog != nil {
+			userLog(format, args...)
+		}
+	}
+
+	res, err := core.SynthesizeContext(ctx, j.benchmark, o)
+
+	var st State
+	switch {
+	case err == nil:
+		st = Done
+	case ctx.Err() != nil || errors.Is(err, context.Canceled):
+		st, res, err = Canceled, nil, context.Canceled
+	default:
+		st, res = Failed, nil
+	}
+	// Publish to the service (stats, in-flight removal, cache insertion)
+	// before the done channel closes, so a waiter resubmitting the moment
+	// Wait returns is guaranteed to hit the cache.
+	s.jobFinished(j, st, res)
+	j.mu.Lock()
+	j.finishLocked(st, res, err)
+	j.mu.Unlock()
+	if err != nil {
+		s.logf("job %s: %s (%v)", j.id, st, err)
+	} else {
+		s.logf("job %s: done in %v, %d runs, %s", j.id, j.Elapsed().Round(time.Millisecond), res.Runs, res.Final)
+	}
+}
+
+// jobFinished updates service-level state after a job reached a terminal
+// state (from a worker, or from Cancel on a queued job).
+func (s *Service) jobFinished(j *Job, st State, res *core.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	switch st {
+	case Done:
+		s.stats.Completed++
+		if res != nil {
+			s.stats.SimRuns += res.Runs
+			if s.cache != nil {
+				s.cache.Add(j.key, res)
+			}
+		}
+	case Failed:
+		s.stats.Failed++
+	case Canceled:
+		s.stats.Canceled++
+	}
+}

@@ -1,0 +1,210 @@
+// Wire types: the JSON shapes shared by the contangod HTTP API and the
+// contango CLI's -json output, so the two surfaces never drift apart.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"contango/internal/bench"
+	"contango/internal/core"
+	"contango/internal/eval"
+)
+
+// MetricsWire is eval.Metrics with explicit units in the field names.
+type MetricsWire struct {
+	SkewPs         float64 `json:"skew_ps"`
+	CLRPs          float64 `json:"clr_ps"`
+	MaxLatencyPs   float64 `json:"max_latency_ps"`
+	MaxSlewPs      float64 `json:"max_slew_ps"`
+	SlewViolations int     `json:"slew_violations"`
+	TotalCapFF     float64 `json:"total_cap_ff"`
+	CapPct         float64 `json:"cap_pct"`
+}
+
+// MetricsToWire converts flow metrics to their wire shape.
+func MetricsToWire(m eval.Metrics) MetricsWire {
+	return MetricsWire{
+		SkewPs:         m.Skew,
+		CLRPs:          m.CLR,
+		MaxLatencyPs:   m.MaxLatency,
+		MaxSlewPs:      m.MaxSlew,
+		SlewViolations: m.SlewViol,
+		TotalCapFF:     m.TotalCap,
+		CapPct:         m.CapPct,
+	}
+}
+
+// StageWire is one optimization-cascade record (a Table III row).
+type StageWire struct {
+	Name    string      `json:"name"`
+	Metrics MetricsWire `json:"metrics"`
+	Runs    int         `json:"runs"` // cumulative simulator invocations
+}
+
+// ResultWire is the JSON shape of a finished synthesis run.
+type ResultWire struct {
+	Benchmark      string      `json:"benchmark"`
+	Sinks          int         `json:"sinks"`
+	Buffers        int         `json:"buffers"`
+	Composite      string      `json:"composite"`
+	InvertedSinks  int         `json:"inverted_sinks"`
+	AddedInverters int         `json:"added_inverters"`
+	Legalization   string      `json:"legalization"`
+	Stages         []StageWire `json:"stages"`
+	Final          MetricsWire `json:"final"`
+	Runs           int         `json:"runs"`
+	ElapsedMs      float64     `json:"elapsed_ms"`
+}
+
+// ResultToWire converts a synthesis result to its wire shape.
+func ResultToWire(r *core.Result) *ResultWire {
+	if r == nil {
+		return nil
+	}
+	w := &ResultWire{
+		Benchmark:      r.Benchmark.Name,
+		Sinks:          len(r.Benchmark.Sinks),
+		Buffers:        r.Buffers,
+		Composite:      r.Composite.String(),
+		InvertedSinks:  r.InvertedSinks,
+		AddedInverters: r.AddedInverters,
+		Legalization:   r.Legalization.String(),
+		Final:          MetricsToWire(r.Final),
+		Runs:           r.Runs,
+		ElapsedMs:      float64(r.Elapsed) / float64(time.Millisecond),
+	}
+	for _, s := range r.Stages {
+		w.Stages = append(w.Stages, StageWire{Name: s.Name, Metrics: MetricsToWire(s.Metrics), Runs: s.Runs})
+	}
+	return w
+}
+
+// JobWire is the JSON shape of a job's status.
+type JobWire struct {
+	ID         string      `json:"id"`
+	Key        string      `json:"key"`
+	State      State       `json:"state"`
+	Benchmark  string      `json:"benchmark"`
+	Sinks      int         `json:"sinks"`
+	CacheHit   bool        `json:"cache_hit"`
+	Submitted  time.Time   `json:"submitted"`
+	Started    *time.Time  `json:"started,omitempty"`
+	Finished   *time.Time  `json:"finished,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	Result     *ResultWire `json:"result,omitempty"`
+	LogLines   int         `json:"log_lines"`
+	LogDropped int         `json:"log_dropped,omitempty"`
+}
+
+// Wire snapshots the job's status for the API. Results are included only
+// for finished jobs.
+func (j *Job) Wire() *JobWire {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := &JobWire{
+		ID:         j.id,
+		Key:        j.key,
+		State:      j.state,
+		Benchmark:  j.benchmark.Name,
+		Sinks:      len(j.benchmark.Sinks),
+		CacheHit:   j.cacheHit,
+		Submitted:  j.submitted,
+		Result:     ResultToWire(j.result),
+		LogLines:   len(j.logs),
+		LogDropped: j.dropped,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		w.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		w.Finished = &t
+	}
+	if j.err != nil {
+		w.Error = j.err.Error()
+	}
+	return w
+}
+
+// OptionsWire is the JSON-submittable subset of core.Options (hooks,
+// custom engines and custom technology models are library-only).
+type OptionsWire struct {
+	FastSim        bool     `json:"fast_sim,omitempty"`
+	Gamma          float64  `json:"gamma,omitempty"`
+	LargeInverters bool     `json:"large_inverters,omitempty"`
+	MaxRounds      int      `json:"max_rounds,omitempty"`
+	Cycles         int      `json:"cycles,omitempty"`
+	BufferStep     float64  `json:"buffer_step,omitempty"`
+	SkipStages     []string `json:"skip_stages,omitempty"`
+}
+
+// Options converts the wire form to flow options.
+func (o OptionsWire) Options() core.Options {
+	out := core.Options{
+		FastSim:        o.FastSim,
+		Gamma:          o.Gamma,
+		LargeInverters: o.LargeInverters,
+		MaxRounds:      o.MaxRounds,
+		Cycles:         o.Cycles,
+		BufferStep:     o.BufferStep,
+	}
+	if len(o.SkipStages) > 0 {
+		out.SkipStages = make(map[string]bool, len(o.SkipStages))
+		for _, s := range o.SkipStages {
+			out.SkipStages[strings.ToLower(s)] = true
+		}
+	}
+	return out
+}
+
+// SubmitRequest is the body of POST /api/v1/jobs: a named benchmark or an
+// inline benchmark in the library's text format.
+type SubmitRequest struct {
+	Bench     string      `json:"bench,omitempty"`
+	BenchText string      `json:"bench_text,omitempty"`
+	Options   OptionsWire `json:"options"`
+}
+
+// BatchRequest is the body of POST /api/v1/batches: a set of named
+// benchmarks (or the whole ISPD'09 suite, or inline benchmark files)
+// crossed with an optional parameter sweep.
+type BatchRequest struct {
+	Benches    []string    `json:"benches,omitempty"`
+	Suite      bool        `json:"suite,omitempty"` // all ISPD'09 benchmarks
+	BenchTexts []string    `json:"bench_texts,omitempty"`
+	Options    OptionsWire `json:"options"`
+	Sweep      *Sweep      `json:"sweep,omitempty"`
+}
+
+// Resolve expands the batch request into submission requests.
+func (r BatchRequest) Resolve() ([]Request, error) {
+	var benches []*bench.Benchmark
+	if r.Suite {
+		benches = bench.ISPD09Suite()
+	}
+	for _, name := range r.Benches {
+		b, err := bench.ISPD09(name)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+	for i, text := range r.BenchTexts {
+		b, err := bench.Read(strings.NewReader(text))
+		if err != nil {
+			return nil, fmt.Errorf("bench_texts[%d]: %w", i, err)
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("service: batch names no benchmarks")
+	}
+	sw := Sweep{}
+	if r.Sweep != nil {
+		sw = *r.Sweep
+	}
+	return SweepRequests(benches, r.Options.Options(), sw), nil
+}
