@@ -25,11 +25,15 @@ import (
 
 // trimmed returns the named benchmark truncated to at most n sinks, with a
 // proportionally reduced capacitance budget, for bounded bench runtimes.
+// The truncation happens on a deep copy: back-to-back benchmarks loading
+// the same name must never observe a previously mutated sink list or cap
+// budget through shared backing arrays.
 func trimmed(name string, n int) *bench.Benchmark {
 	b, err := bench.ISPD09(name)
 	if err != nil {
 		panic(err)
 	}
+	b = b.Clone()
 	if len(b.Sinks) > n {
 		frac := float64(n) / float64(len(b.Sinks))
 		b.Sinks = b.Sinks[:n]
@@ -273,6 +277,66 @@ func BenchmarkElmoreEvaluate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Evaluate(res.Tree, res.Tree.Tech.Corners[0]); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalPhase isolates the cascade's evaluation phase: one sizing
+// move on a buffered tree followed by a both-corner accurate evaluation.
+// "full" re-extracts and re-simulates the whole network per move (the
+// pre-incremental flow); "incremental" re-simulates only the move's dirty
+// cone through the per-stage cache. The ns/op ratio between the two is the
+// evaluation-phase speedup the CI bench gate tracks in BENCH_ci.json.
+func BenchmarkEvalPhase(b *testing.B) {
+	bm := trimmed("ispd09f22", 60)
+	seed, err := core.SynthesizeBaseline(bm, core.BaselineNoOpt, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		tr := seed.Tree.Clone()
+		sinks := tr.Sinks()
+		eng := spice.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.AddSnake(sinks[i%len(sinks)], 25)
+			for _, c := range tr.Tech.Corners {
+				if _, err := eng.Evaluate(tr, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		tr := seed.Tree.Clone()
+		sinks := tr.Sinks()
+		ie := spice.NewIncremental(tr, spice.New(), 1)
+		if _, err := ie.EvaluateCorners(tr, tr.Tech.Corners); err != nil {
+			b.Fatal(err) // warm the cache: steady-state cost is what matters
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.AddSnake(sinks[i%len(sinks)], 25)
+			if _, err := ie.EvaluateCorners(tr, tr.Tech.Corners); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCascadeIncremental runs the full optimization cascade with the
+// incremental engine (the production configuration), tracking end-to-end
+// flow cost in CI.
+func BenchmarkCascadeIncremental(b *testing.B) {
+	bm := trimmed("ispd09f22", 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(bm.Clone(), core.Options{MaxRounds: 6, Cycles: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.StageReuses == 0 {
+			b.Fatal("incremental cache unused")
 		}
 	}
 }

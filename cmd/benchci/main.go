@@ -1,0 +1,250 @@
+// Command benchci turns `go test -bench` output into a machine-readable
+// JSON snapshot and gates CI on it: it fails when any benchmark regressed
+// by more than a threshold against a committed baseline, and can require a
+// minimum speedup ratio between two named benchmarks (used to pin the
+// incremental evaluator's advantage over the full re-evaluation path).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run '^$' . | \
+//	    benchci -out BENCH_ci.json -baseline BENCH_baseline.json \
+//	            -threshold 0.30 -speedup 'BenchmarkEvalPhase/full,BenchmarkEvalPhase/incremental,2'
+//
+// Refresh the baseline by regenerating it from a bench run:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run '^$' . | benchci -out BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the JSON shape of a bench run (BENCH_*.json).
+type Snapshot struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+// "BenchmarkFoo/sub-8   3   123456 ns/op   120 B/op   7 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchci: bad ns/op in %q: %w", line, err)
+		}
+		e := Entry{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		snap.Benchmarks[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchci: no benchmark results found in input")
+	}
+	return snap, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("benchci: %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// compare fails (returns messages) for every benchmark whose ns/op grew by
+// more than threshold versus the baseline. Benchmarks faster than minNs in
+// the baseline are informational only: at -benchtime=1x their jitter
+// routinely exceeds any sane threshold.
+//
+// When normalize names a reference benchmark, each snapshot's timings are
+// first divided by that snapshot's own reference timing, so a uniformly
+// faster or slower CI machine cancels out and only the benchmark's cost
+// relative to its peers is gated. The floor still applies to raw times.
+func compare(base, cur *Snapshot, threshold, minNs float64, normalize string) (regressions, notes []string) {
+	baseScale, curScale := 1.0, 1.0
+	if normalize != "" {
+		b, okB := base.Benchmarks[normalize]
+		c, okC := cur.Benchmarks[normalize]
+		if okB && okC && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			baseScale, curScale = b.NsPerOp, c.NsPerOp
+			notes = append(notes, fmt.Sprintf("normalizing by %s (baseline %.0f ns/op, current %.0f ns/op)",
+				normalize, b.NsPerOp, c.NsPerOp))
+		} else {
+			notes = append(notes, fmt.Sprintf("normalization benchmark %s unavailable; comparing raw times", normalize))
+		}
+	}
+	for name, b := range base.Benchmarks {
+		if name == normalize {
+			continue // the yardstick cannot gate itself
+		}
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("benchmark %s missing from current run", name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := (c.NsPerOp/curScale)/(b.NsPerOp/baseScale) - 1
+		line := fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% normalized)", name, b.NsPerOp, c.NsPerOp, 100*ratio)
+		if ratio > threshold {
+			if b.NsPerOp < minNs && c.NsPerOp < minNs*(1+threshold) {
+				notes = append(notes, line+" [below gating floor]")
+				continue
+			}
+			regressions = append(regressions, line)
+		}
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			notes = append(notes, fmt.Sprintf("benchmark %s is new (not in baseline)", name))
+		}
+	}
+	return regressions, notes
+}
+
+// checkSpeedup enforces spec "slowName,fastName,minRatio": the slow
+// benchmark must cost at least minRatio times the fast one.
+func checkSpeedup(cur *Snapshot, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("benchci: -speedup wants 'slow,fast,minRatio', got %q", spec)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("benchci: bad -speedup ratio %q: %w", parts[2], err)
+	}
+	slow, ok := cur.Benchmarks[parts[0]]
+	if !ok {
+		return fmt.Errorf("benchci: -speedup benchmark %q not found", parts[0])
+	}
+	fast, ok := cur.Benchmarks[parts[1]]
+	if !ok {
+		return fmt.Errorf("benchci: -speedup benchmark %q not found", parts[1])
+	}
+	if fast.NsPerOp <= 0 {
+		return fmt.Errorf("benchci: %q measured 0 ns/op", parts[1])
+	}
+	ratio := slow.NsPerOp / fast.NsPerOp
+	fmt.Printf("benchci: speedup %s / %s = %.1fx (required >= %.1fx)\n", parts[0], parts[1], ratio, min)
+	if ratio < min {
+		return fmt.Errorf("benchci: speedup %.2fx below required %.2fx", ratio, min)
+	}
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "write the parsed snapshot as JSON to this path")
+	baseline := flag.String("baseline", "", "committed BENCH_baseline.json to gate against")
+	threshold := flag.Float64("threshold", 0.30, "max allowed ns/op regression vs the baseline (0.30 = +30%)")
+	minNs := flag.Float64("min-ns", 1e7, "baseline ns/op floor below which regressions only warn")
+	normalize := flag.String("normalize", "", "reference benchmark; both snapshots are rescaled by its timing to cancel machine-speed differences")
+	speedup := flag.String("speedup", "", "require 'slowBench,fastBench,minRatio' in the current run")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	cur, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchci: wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+	failed := false
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regressions, notes := compare(base, cur, *threshold, *minNs, *normalize)
+		for _, n := range notes {
+			fmt.Println("benchci: note:", n)
+		}
+		for _, r := range regressions {
+			fmt.Println("benchci: REGRESSION:", r)
+			failed = true
+		}
+		if len(regressions) == 0 {
+			fmt.Printf("benchci: %d benchmarks within %.0f%% of baseline\n", len(cur.Benchmarks), 100**threshold)
+		}
+	}
+	if *speedup != "" {
+		if err := checkSpeedup(cur, *speedup); err != nil {
+			fmt.Println(err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

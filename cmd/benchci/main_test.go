@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: contango
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFast-8         	     100	    120000 ns/op	     320 B/op	       4 allocs/op
+BenchmarkSlow           	       1	 200000000 ns/op
+BenchmarkEvalPhase/full-8         	       1	 220000000 ns/op	27785296 B/op	   20680 allocs/op
+BenchmarkEvalPhase/incremental-8  	       1	   1600000 ns/op	  241256 B/op	    1472 allocs/op
+PASS
+ok  	contango	10.5s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" {
+		t.Errorf("platform not captured: %q %q", snap.Goos, snap.Goarch)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	fast := snap.Benchmarks["BenchmarkFast"]
+	if fast.NsPerOp != 120000 || fast.AllocsPerOp != 4 || fast.Iterations != 100 {
+		t.Errorf("BenchmarkFast parsed wrong: %+v", fast)
+	}
+	if _, ok := snap.Benchmarks["BenchmarkEvalPhase/full"]; !ok {
+		t.Error("sub-benchmark name (with -procs suffix) not normalized")
+	}
+	if snap.Benchmarks["BenchmarkSlow"].NsPerOp != 2e8 {
+		t.Error("benchmark without -benchmem columns not parsed")
+	}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	base, _ := parse(strings.NewReader(sample))
+	cur, _ := parse(strings.NewReader(sample))
+
+	// Unchanged: no regressions.
+	if regs, _ := compare(base, cur, 0.30, 1e7, ""); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// A 2x slowdown on a slow benchmark must gate.
+	e := cur.Benchmarks["BenchmarkSlow"]
+	e.NsPerOp *= 2
+	cur.Benchmarks["BenchmarkSlow"] = e
+	regs, _ := compare(base, cur, 0.30, 1e7, "")
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkSlow") {
+		t.Fatalf("regression not caught: %v", regs)
+	}
+
+	// The same slowdown under the gating floor only warns.
+	cur2, _ := parse(strings.NewReader(sample))
+	f := cur2.Benchmarks["BenchmarkFast"]
+	f.NsPerOp *= 2
+	cur2.Benchmarks["BenchmarkFast"] = f
+	regs, notes := compare(base, cur2, 0.30, 1e7, "")
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor jitter gated: %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "BenchmarkFast") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sub-floor slowdown not even noted")
+	}
+}
+
+func TestCompareNormalization(t *testing.T) {
+	base, _ := parse(strings.NewReader(sample))
+
+	// A uniformly 2x slower machine: every benchmark doubles, including
+	// the reference. Raw comparison would flag everything; normalized by
+	// the reference it must be quiet.
+	cur, _ := parse(strings.NewReader(sample))
+	for name, e := range cur.Benchmarks {
+		e.NsPerOp *= 2
+		cur.Benchmarks[name] = e
+	}
+	regs, _ := compare(base, cur, 0.30, 1e7, "BenchmarkSlow")
+	if len(regs) != 0 {
+		t.Fatalf("uniform machine slowdown gated under normalization: %v", regs)
+	}
+	if regs, _ := compare(base, cur, 0.30, 1e7, ""); len(regs) == 0 {
+		t.Fatal("sanity: raw comparison should have flagged the 2x run")
+	}
+
+	// A real regression relative to peers still gates when normalized.
+	e := cur.Benchmarks["BenchmarkEvalPhase/full"]
+	e.NsPerOp *= 2 // now 4x baseline while the reference is 2x
+	cur.Benchmarks["BenchmarkEvalPhase/full"] = e
+	regs, _ = compare(base, cur, 0.30, 1e7, "BenchmarkSlow")
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkEvalPhase/full") {
+		t.Fatalf("relative regression not caught under normalization: %v", regs)
+	}
+}
+
+func TestCheckSpeedup(t *testing.T) {
+	cur, _ := parse(strings.NewReader(sample))
+	if err := checkSpeedup(cur, "BenchmarkEvalPhase/full,BenchmarkEvalPhase/incremental,2"); err != nil {
+		t.Errorf("137x speedup rejected: %v", err)
+	}
+	if err := checkSpeedup(cur, "BenchmarkEvalPhase/full,BenchmarkEvalPhase/incremental,1000"); err == nil {
+		t.Error("impossible speedup requirement accepted")
+	}
+	if err := checkSpeedup(cur, "nope"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}

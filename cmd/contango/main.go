@@ -20,6 +20,8 @@ func main() {
 	large := flag.Bool("large-inverters", false, "use groups of large inverters (TI mode)")
 	svg := flag.String("svg", "", "write the final tree as SVG to this path")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the contangod wire format)")
+	parallel := flag.Int("parallel", 0, "stage-simulation workers for the optimization cascade (0 = all CPUs, 1 = serial)")
+	fullEval := flag.Bool("full-eval", false, "disable the incremental evaluation cache (slow reference path, identical results)")
 	flag.Parse()
 
 	b, err := loadBench(*name)
@@ -27,7 +29,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := core.Options{FastSim: *fast, LargeInverters: *large}
+	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval}
 	if *verbose {
 		opt.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
@@ -46,6 +48,11 @@ func main() {
 	} else {
 		fmt.Printf("benchmark %s: %d sinks, %d buffers (%v), %d simulator runs, %v\n",
 			b.Name, len(b.Sinks), res.Buffers, res.Composite, res.Runs, res.Elapsed.Round(1e6))
+		if res.StageSims+res.StageReuses > 0 {
+			fmt.Printf("incremental CNE: %d stage sims, %d cache hits (%.0f%% reused)\n",
+				res.StageSims, res.StageReuses,
+				100*float64(res.StageReuses)/float64(res.StageSims+res.StageReuses))
+		}
 		fmt.Printf("legalization: %v\n", res.Legalization)
 		fmt.Printf("polarity: %d inverted sinks -> %d added inverters\n", res.InvertedSinks, res.AddedInverters)
 		for _, s := range res.Stages {

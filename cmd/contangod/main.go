@@ -28,10 +28,11 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size")
 	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
 	queue := flag.Int("queue", 4096, "max queued jobs")
+	parallel := flag.Int("parallel", 0, "per-job stage-simulation workers for jobs that don't set one (0 = GOMAXPROCS/workers)")
 	verbose := flag.Bool("v", false, "log job lifecycle to stderr")
 	flag.Parse()
 
-	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue}
+	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue, JobParallelism: *parallel}
 	logf := func(f string, a ...interface{}) {
 		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+f+"\n", a...)
 	}

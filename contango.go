@@ -47,7 +47,10 @@ import (
 
 // Options re-exports the flow configuration. The zero value gives the
 // paper's contest setup: 45 nm technology, batches of 8 small inverters,
-// 10% capacitance reserve, transient-checked optimization rounds.
+// 10% capacitance reserve, transient-checked optimization rounds — with
+// the incremental evaluation engine on and its stage simulations spread
+// over all CPUs (Options.Parallelism; Options.FullEval restores the
+// whole-tree reference path, identical results, much slower).
 type Options = core.Options
 
 // Result is the outcome of a synthesis run, including the final tree,

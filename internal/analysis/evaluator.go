@@ -81,3 +81,13 @@ type Evaluator interface {
 	Name() string
 	Evaluate(tr *ctree.Tree, corner tech.Corner) (*Result, error)
 }
+
+// CornerEvaluator is an Evaluator that can evaluate several corners in one
+// call, sharing netlist extraction between them and (for implementations
+// with a worker pool, like the incremental transient engine) scheduling the
+// independent per-corner simulations concurrently. The optimization passes
+// prefer this interface when the configured evaluator provides it.
+type CornerEvaluator interface {
+	Evaluator
+	EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*Result, error)
+}

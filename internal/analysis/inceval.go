@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"contango/internal/ctree"
+	"contango/internal/tech"
+)
+
+// Incremental closed-form evaluators: Elmore and D2M variants that keep an
+// IncrementalNet plus per-stage delay/moment vectors, so a candidate move
+// re-derives only the stages in its dirty cone. Arrival propagation across
+// stage boundaries is always redone (it is O(stages)); the per-RC-node work
+// — the part that scales with network size — is served from cache for every
+// stage whose content is unchanged. Results are bit-identical to the plain
+// Elmore/TwoPole evaluators: cached vectors are the exact floats a fresh
+// evaluation would recompute from the same reused RC arrays.
+
+// elmoreEntry caches one stage's Elmore state at one driver resistance.
+type elmoreEntry struct {
+	stage *Stage
+	rd    float64
+	d     []float64 // Elmore delay to every RC node, ps
+	// Aggregates over the stage's nodes, derived from d.
+	maxSlew float64
+	viol    int
+}
+
+// IncrementalElmore is the incremental counterpart of Elmore. The zero
+// value is ready to use; it binds to the first tree it evaluates and
+// rebinds (dropping caches) when handed a different one. Not safe for
+// concurrent use.
+type IncrementalElmore struct {
+	// MaxSeg overrides the RC subdivision length (µm); 0 means default.
+	MaxSeg float64
+
+	tree  *ctree.Tree
+	inc   *IncrementalNet
+	cache map[tech.Corner]map[int]*elmoreEntry
+}
+
+// Name implements Evaluator.
+func (e *IncrementalElmore) Name() string { return "elmore-incremental" }
+
+func (e *IncrementalElmore) bind(tr *ctree.Tree) {
+	if e.inc != nil && e.tree == tr {
+		return
+	}
+	e.tree = tr
+	e.inc = NewIncrementalNet(tr, e.MaxSeg)
+	e.cache = make(map[tech.Corner]map[int]*elmoreEntry)
+}
+
+// Evaluate implements Evaluator.
+func (e *IncrementalElmore) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Result, error) {
+	e.bind(tr)
+	net := e.inc.Sync()
+	entries := e.cache[corner]
+	if entries == nil {
+		entries = make(map[int]*elmoreEntry)
+	}
+	next := make(map[int]*elmoreEntry, len(net.Stages))
+	res := &Result{
+		Corner:    corner,
+		Rise:      make(map[int]float64),
+		Fall:      make(map[int]float64),
+		SinkSlew:  make(map[int]float64),
+		StageSlew: make(map[int]float64),
+	}
+	limit := tr.Tech.SlewLimit
+	arrival := make([]float64, len(net.Stages))
+	for _, s := range net.Stages {
+		rd := net.DriverR(s, corner)
+		key := driverKey(s.Driver)
+		ent := entries[key]
+		if ent == nil || ent.stage != s || ent.rd != rd {
+			ent = &elmoreEntry{stage: s, rd: rd, d: stageElmore(s, rd)}
+			for _, v := range ent.d {
+				slew := ln9 * v
+				if slew > ent.maxSlew {
+					ent.maxSlew = slew
+				}
+				if slew > limit {
+					ent.viol++
+				}
+			}
+		}
+		next[key] = ent
+		base := arrival[s.Index]
+		for _, ci := range s.Children {
+			arrival[ci] = base + ent.d[net.Stages[ci].InputNode]
+		}
+		for _, m := range s.Sinks {
+			t := base + ent.d[m.Node]
+			res.Rise[m.Sink.ID] = t
+			res.Fall[m.Sink.ID] = t
+			res.SinkSlew[m.Sink.ID] = ln9 * ent.d[m.Node]
+		}
+		res.StageSlew[key] = ent.maxSlew
+		if ent.maxSlew > res.MaxSlew {
+			res.MaxSlew = ent.maxSlew
+		}
+		res.SlewViol += ent.viol
+	}
+	e.cache[corner] = next
+	return res, nil
+}
+
+// EvaluateCorners implements CornerEvaluator (extraction shared, per-corner
+// propagation reused from the per-stage caches).
+func (e *IncrementalElmore) EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*Result, error) {
+	out := make([]*Result, len(corners))
+	for i, c := range corners {
+		r, err := e.Evaluate(tr, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// twoPoleEntry caches one stage's first two moments at one driver
+// resistance, plus slew aggregates derived from them.
+type twoPoleEntry struct {
+	stage   *Stage
+	rd      float64
+	m1, m2  []float64
+	maxSlew float64
+	viol    int
+}
+
+// IncrementalTwoPole is the incremental counterpart of TwoPole (D2M). The
+// zero value is ready to use. Not safe for concurrent use.
+type IncrementalTwoPole struct {
+	MaxSeg float64
+
+	tree  *ctree.Tree
+	inc   *IncrementalNet
+	cache map[tech.Corner]map[int]*twoPoleEntry
+}
+
+// Name implements Evaluator.
+func (e *IncrementalTwoPole) Name() string { return "twopole-incremental" }
+
+func (e *IncrementalTwoPole) bind(tr *ctree.Tree) {
+	if e.inc != nil && e.tree == tr {
+		return
+	}
+	e.tree = tr
+	e.inc = NewIncrementalNet(tr, e.MaxSeg)
+	e.cache = make(map[tech.Corner]map[int]*twoPoleEntry)
+}
+
+// Evaluate implements Evaluator.
+func (e *IncrementalTwoPole) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Result, error) {
+	e.bind(tr)
+	net := e.inc.Sync()
+	entries := e.cache[corner]
+	if entries == nil {
+		entries = make(map[int]*twoPoleEntry)
+	}
+	next := make(map[int]*twoPoleEntry, len(net.Stages))
+	res := &Result{
+		Corner:    corner,
+		Rise:      make(map[int]float64),
+		Fall:      make(map[int]float64),
+		SinkSlew:  make(map[int]float64),
+		StageSlew: make(map[int]float64),
+	}
+	limit := tr.Tech.SlewLimit
+	arrival := make([]float64, len(net.Stages))
+	for _, s := range net.Stages {
+		rd := net.DriverR(s, corner)
+		key := driverKey(s.Driver)
+		ent := entries[key]
+		if ent == nil || ent.stage != s || ent.rd != rd {
+			m1, m2 := stageMoments(s, rd)
+			ent = &twoPoleEntry{stage: s, rd: rd, m1: m1, m2: m2}
+			for i := range m1 {
+				slew := slewFromMoments(m1[i], m2[i])
+				if slew > ent.maxSlew {
+					ent.maxSlew = slew
+				}
+				if slew > limit {
+					ent.viol++
+				}
+			}
+		}
+		next[key] = ent
+		base := arrival[s.Index]
+		for _, ci := range s.Children {
+			child := net.Stages[ci]
+			arrival[ci] = base + d2m(ent.m1[child.InputNode], ent.m2[child.InputNode])
+		}
+		for _, m := range s.Sinks {
+			t := base + d2m(ent.m1[m.Node], ent.m2[m.Node])
+			res.Rise[m.Sink.ID] = t
+			res.Fall[m.Sink.ID] = t
+			res.SinkSlew[m.Sink.ID] = slewFromMoments(ent.m1[m.Node], ent.m2[m.Node])
+		}
+		res.StageSlew[key] = ent.maxSlew
+		if ent.maxSlew > res.MaxSlew {
+			res.MaxSlew = ent.maxSlew
+		}
+		res.SlewViol += ent.viol
+	}
+	e.cache[corner] = next
+	return res, nil
+}
+
+// EvaluateCorners implements CornerEvaluator.
+func (e *IncrementalTwoPole) EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*Result, error) {
+	out := make([]*Result, len(corners))
+	for i, c := range corners {
+		r, err := e.Evaluate(tr, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+var (
+	_ CornerEvaluator = (*IncrementalElmore)(nil)
+	_ CornerEvaluator = (*IncrementalTwoPole)(nil)
+)

@@ -52,7 +52,21 @@ type Stage struct {
 	Loads    []Load
 	Sinks    []Meas
 	Children []int // downstream stage indices
+
+	// sig is a content signature over everything that determines the
+	// stage's electrical behavior (driver parameters, RC arrays, load and
+	// sink placement). The incremental extractor uses it to keep a Stage's
+	// pointer identity stable across rebuilds that did not change content;
+	// the incremental transient engine validates cached stage results
+	// against it. Zero on stages built by plain Extract.
+	sig uint64
 }
+
+// Sig returns the stage's content signature: equal signatures mean
+// electrically identical stages (same driver parameters, RC arrays, loads
+// and sinks). Zero means "unsigned" (the stage came from plain Extract)
+// and never matches anything. Signatures are assigned by IncrementalNet.
+func (s *Stage) Sig() uint64 { return s.sig }
 
 // TotalCap returns the sum of grounded capacitance in the stage (fF),
 // including buffer input pins and sink loads attached to it.
@@ -77,77 +91,85 @@ func Extract(tr *ctree.Tree, maxSeg float64) *Net {
 		maxSeg = DefaultMaxSeg
 	}
 	net := &Net{Tree: tr}
-
-	newStage := func(driver *ctree.Node, parentStage, inputNode int) *Stage {
-		s := &Stage{
-			Driver:    driver,
-			Index:     len(net.Stages),
-			Parent:    parentStage,
-			InputNode: inputNode,
-		}
-		rootCap := 0.0
-		if driver != nil {
-			rootCap = driver.Buf.Cout()
-		}
-		s.R = append(s.R, 0)
-		s.C = append(s.C, rootCap)
-		s.Par = append(s.Par, -1)
-		net.Stages = append(net.Stages, s)
-		if parentStage >= 0 {
-			net.Stages[parentStage].Children = append(net.Stages[parentStage].Children, s.Index)
-		}
-		return s
+	var place func(driver *ctree.Node, parentStage, inputNode int)
+	place = func(driver *ctree.Node, parentStage, inputNode int) {
+		buildStage(net, tr, maxSeg, driver, parentStage, inputNode, place)
 	}
+	place(nil, -1, -1)
+	return net
+}
 
-	// addEdge subdivides the wire of tree node n (edge parent->n) into the
-	// stage, starting at RC node 'at', and returns the far-end RC node.
-	addEdge := func(s *Stage, n *ctree.Node, at int) int {
-		length := n.EdgeLen()
-		w := tr.Tech.Wires[n.WidthIdx]
-		rTot := w.RPerUm * length
-		cTot := w.CPerUm * length
-		k := int(math.Ceil(length / maxSeg))
-		if k < 1 {
-			k = 1
-		}
-		rSeg := rTot / float64(k)
-		if rSeg < minR {
-			rSeg = minR
-		}
-		cHalf := cTot / float64(k) / 2
-		cur := at
-		for i := 0; i < k; i++ {
-			s.C[cur] += cHalf
-			s.R = append(s.R, rSeg)
-			s.C = append(s.C, cHalf)
-			s.Par = append(s.Par, cur)
-			cur = len(s.R) - 1
-		}
-		return cur
+// addEdgeSegs subdivides the wire of tree node n (edge parent->n) into the
+// stage, starting at RC node 'at', and returns the far-end RC node.
+func addEdgeSegs(s *Stage, tr *ctree.Tree, maxSeg float64, n *ctree.Node, at int) int {
+	length := n.EdgeLen()
+	w := tr.Tech.Wires[n.WidthIdx]
+	rTot := w.RPerUm * length
+	cTot := w.CPerUm * length
+	k := int(math.Ceil(length / maxSeg))
+	if k < 1 {
+		k = 1
 	}
+	rSeg := rTot / float64(k)
+	if rSeg < minR {
+		rSeg = minR
+	}
+	cHalf := cTot / float64(k) / 2
+	cur := at
+	for i := 0; i < k; i++ {
+		s.C[cur] += cHalf
+		s.R = append(s.R, rSeg)
+		s.C = append(s.C, cHalf)
+		s.Par = append(s.Par, cur)
+		cur = len(s.R) - 1
+	}
+	return cur
+}
 
-	var walk func(s *Stage, n *ctree.Node, at int)
-	walk = func(s *Stage, n *ctree.Node, at int) {
+// buildStage extracts one stage of tr rooted at driver (nil for the source
+// stage), appends it to net, and returns it. Child stages discovered at
+// buffer inputs are handed to place at the same point in the traversal where
+// Extract would recurse, so the full and incremental extractors produce
+// stage orderings that match exactly.
+func buildStage(net *Net, tr *ctree.Tree, maxSeg float64, driver *ctree.Node, parentStage, inputNode int, place func(driver *ctree.Node, parentStage, inputNode int)) *Stage {
+	s := &Stage{
+		Driver:    driver,
+		Index:     len(net.Stages),
+		Parent:    parentStage,
+		InputNode: inputNode,
+	}
+	rootCap := 0.0
+	start := tr.Root
+	if driver != nil {
+		rootCap = driver.Buf.Cout()
+		start = driver
+	}
+	s.R = append(s.R, 0)
+	s.C = append(s.C, rootCap)
+	s.Par = append(s.Par, -1)
+	net.Stages = append(net.Stages, s)
+	if parentStage >= 0 {
+		net.Stages[parentStage].Children = append(net.Stages[parentStage].Children, s.Index)
+	}
+	var walk func(n *ctree.Node, at int)
+	walk = func(n *ctree.Node, at int) {
 		for _, c := range n.Children {
-			far := addEdge(s, c, at)
+			far := addEdgeSegs(s, tr, maxSeg, c, at)
 			switch c.Kind {
 			case ctree.Buffer:
 				s.C[far] += c.Buf.Cin()
 				s.Loads = append(s.Loads, Load{Node: far, Buf: c})
-				sub := newStage(c, s.Index, far)
-				walk(sub, c, 0)
+				place(c, s.Index, far)
 			case ctree.Sink:
 				s.C[far] += c.SinkCap
 				s.Sinks = append(s.Sinks, Meas{Node: far, Sink: c})
 			default:
-				walk(s, c, far)
+				walk(c, far)
 			}
 		}
 	}
-
-	src := newStage(nil, -1, -1)
-	walk(src, tr.Root, 0)
-	return net
+	walk(start, 0)
+	return s
 }
 
 // DriverR returns the effective driver resistance (kΩ) of stage s at the

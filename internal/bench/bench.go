@@ -28,6 +28,16 @@ type Benchmark struct {
 	CapLimit float64
 }
 
+// Clone returns a deep copy of the benchmark: the sink and obstacle slices
+// get their own backing arrays, so truncating or rescaling the copy (as the
+// bench harnesses do to bound runtimes) cannot alias the original.
+func (b *Benchmark) Clone() *Benchmark {
+	cp := *b
+	cp.Sinks = append([]dme.Sink(nil), b.Sinks...)
+	cp.Obstacles = append([]geom.Obstacle(nil), b.Obstacles...)
+	return &cp
+}
+
 // ispdSpec describes one synthetic contest benchmark.
 type ispdSpec struct {
 	name      string

@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"contango/internal/analysis"
@@ -56,6 +57,14 @@ type Options struct {
 	// Cycles is the number of extra wire-pass convergence cycles after the
 	// named cascade (default 3; each costs one recalibration).
 	Cycles int
+	// Parallelism is the worker budget for concurrent stage simulations in
+	// the optimization cascade's incremental evaluator (0 = GOMAXPROCS,
+	// 1 = serial). It changes wall-clock time only, never results.
+	Parallelism int
+	// FullEval forces whole-tree re-evaluation for every CNE instead of
+	// the incremental per-stage cache — the reference path the incremental
+	// engine is validated against. Identical results, much slower.
+	FullEval bool
 	// Log receives progress lines when non-nil.
 	Log func(format string, args ...interface{})
 }
@@ -83,6 +92,9 @@ func (o Options) Resolve() Options {
 	if o.Cycles <= 0 {
 		o.Cycles = defaultCycles
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -101,6 +113,13 @@ type Result struct {
 	Final     eval.Metrics
 	Runs      int // total accurate-evaluation invocations
 	Elapsed   time.Duration
+
+	// StageSims counts transient stage simulations actually integrated by
+	// the cascade's incremental evaluator; StageReuses counts stage
+	// transients served from its dirty-cone cache. Both are zero when
+	// FullEval disabled the incremental path.
+	StageSims   int
+	StageReuses int
 
 	Buffers        int
 	InvertedSinks  int // before polarity correction (Table II)
@@ -202,10 +221,20 @@ func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Res
 	// 5. SPICE-driven optimization cascade (paper Fig. 1): every IVC round
 	// is checked by the accurate transient engine, exactly as the paper
 	// checks every round with SPICE; run counts land in the published
-	// range because each pass converges in a handful of rounds.
+	// range because each pass converges in a handful of rounds. The
+	// incremental evaluator wraps the engine so each round re-simulates
+	// only the dirty cone of its mutations, with independent stages
+	// integrated concurrently — identical results, a fraction of the work.
+	var cne analysis.Evaluator = o.Engine
+	var inc *spice.Incremental
+	if !o.FullEval {
+		inc = spice.NewIncremental(tr, o.Engine, o.Parallelism)
+		cne = inc
+	}
 	cx := &opt.Context{
-		Tree: tr, Eng: o.Engine, Obs: obs, CapLimit: b.CapLimit,
-		MaxRounds: o.MaxRounds, Log: o.Log, Check: ctx.Err,
+		Tree: tr, Eng: cne, Obs: obs, CapLimit: b.CapLimit,
+		MaxRounds: o.MaxRounds, Parallelism: o.Parallelism,
+		Log: o.Log, Check: ctx.Err,
 	}
 	record := func(name string) error {
 		_, m, err := cx.Baseline()
@@ -306,12 +335,26 @@ func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Res
 
 	res.Final = res.Stages[len(res.Stages)-1].Metrics
 	res.Runs = o.Engine.Runs
+	if inc != nil {
+		res.StageSims = inc.Stats.StagesSim
+		res.StageReuses = inc.Stats.StagesHit
+		o.logf("%s: incremental CNE: %d stage sims, %d cache hits (%.0f%% reused)",
+			b.Name, res.StageSims, res.StageReuses,
+			100*float64(res.StageReuses)/float64(max1(res.StageSims+res.StageReuses)))
+	}
 	res.Buffers = len(tr.Buffers())
 	res.Elapsed = time.Since(start)
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("final validation: %w", err)
 	}
 	return res, nil
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 func lower(s string) string {

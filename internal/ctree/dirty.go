@@ -1,0 +1,91 @@
+package ctree
+
+// Mutation journal. Every structural or electrical change to the tree bumps
+// a monotone generation counter and records which nodes were touched, so
+// incremental consumers (the staged-netlist cache in package analysis and
+// the per-stage simulation cache in package spice) can find the dirty cone
+// without re-walking an unchanged network. Multiple consumers can track the
+// same tree independently: each remembers the generation it last synced at
+// and asks for the nodes touched since.
+//
+// The journal is advisory for performance but not load-bearing for
+// correctness on its own: consumers additionally validate reused state
+// against per-stage content signatures, so a mutation that bypasses the
+// setters below is caught when its stage is next rebuilt. Optimization
+// passes must still use the setters — SetWidth, SetSnake, AddSnake,
+// SetBufferSize — for edits to be picked up incrementally.
+
+// Gen returns the tree's current mutation generation. It increases by at
+// least one for every recorded mutation and never decreases on a live tree
+// (restoring a snapshot via struct assignment replaces the whole journal,
+// which consumers detect through the root pointer changing).
+func (tr *Tree) Gen() uint64 { return tr.gen }
+
+// touch records a mutation affecting node n.
+func (tr *Tree) touch(n *Node) {
+	if n == nil {
+		return
+	}
+	tr.gen++
+	if tr.touched == nil {
+		tr.touched = make(map[int]uint64)
+	}
+	tr.touched[n.ID] = tr.gen
+}
+
+// TouchedSince returns the IDs of nodes modified after generation gen, in
+// unspecified order. IDs of since-deleted nodes may be included; callers
+// must tolerate Node(id) == nil. A nil result means nothing changed.
+func (tr *Tree) TouchedSince(gen uint64) []int {
+	if tr.gen <= gen {
+		return nil
+	}
+	var out []int
+	for id, g := range tr.touched {
+		if g > gen {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SetWidth changes the wire type of n's parent edge and journals the edit.
+func (tr *Tree) SetWidth(n *Node, idx int) {
+	if n.WidthIdx == idx {
+		return
+	}
+	n.WidthIdx = idx
+	tr.touch(n)
+}
+
+// SetSnake sets the serpentine allowance (µm) of n's parent edge and
+// journals the edit.
+func (tr *Tree) SetSnake(n *Node, v float64) {
+	if n.Snake == v {
+		return
+	}
+	n.Snake = v
+	tr.touch(n)
+}
+
+// AddSnake adds dv µm of serpentine allowance to n's parent edge and
+// journals the edit.
+func (tr *Tree) AddSnake(n *Node, dv float64) {
+	if dv == 0 {
+		return
+	}
+	n.Snake += dv
+	tr.touch(n)
+}
+
+// SetBufferSize changes the parallel-inverter count of a buffer node and
+// journals the edit. Consumers treat a touched buffer as dirtying both the
+// stage it drives (drive strength, output self-loading) and the stage its
+// input pin loads.
+func (tr *Tree) SetBufferSize(n *Node, count int) {
+	if n.Buf == nil || n.Buf.N == count {
+		return
+	}
+	n.Buf.N = count
+	tr.touch(n)
+}

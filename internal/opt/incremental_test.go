@@ -1,0 +1,60 @@
+package opt
+
+import (
+	"testing"
+
+	"contango/internal/spice"
+)
+
+// TestPassesWithIncrementalEngine runs real optimization passes with the
+// incremental transient evaluator installed as Context.Eng — the production
+// configuration — and checks they behave exactly like the full-evaluation
+// passes: same metrics trajectory, no violations introduced.
+func TestPassesWithIncrementalEngine(t *testing.T) {
+	full, _ := smallNetwork(t)
+	incr, _ := smallNetwork(t)
+	incr.Eng = spice.NewIncremental(incr.Tree, spice.New(), 2)
+
+	for _, cx := range []*Context{full, incr} {
+		if err := TopDownWiresnaking(cx); err != nil {
+			t.Fatal(err)
+		}
+		if err := TopDownWiresizing(cx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, mf, err := full.CNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mi, err := incr.CNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf != mi {
+		t.Errorf("incremental cascade diverged from full: %v vs %v", mf, mi)
+	}
+	ie := incr.Eng.(*spice.Incremental)
+	if ie.Stats.StagesHit == 0 {
+		t.Error("incremental engine never reused a stage transient")
+	}
+}
+
+// TestCNEUsesCornerEvaluator: Context.CNE must hand all corners to a
+// CornerEvaluator in one call (one Runs increment per corner either way,
+// shared extraction inside).
+func TestCNEUsesCornerEvaluator(t *testing.T) {
+	cx, tk := smallNetwork(t)
+	eng := spice.New()
+	ie := spice.NewIncremental(cx.Tree, eng, 1)
+	cx.Eng = ie
+	if _, _, err := cx.CNE(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Runs != len(tk.Corners) {
+		t.Errorf("Runs=%d want %d (one per corner)", eng.Runs, len(tk.Corners))
+	}
+	if ie.Stats.Evals != len(tk.Corners) {
+		t.Errorf("Evals=%d want %d", ie.Stats.Evals, len(tk.Corners))
+	}
+}

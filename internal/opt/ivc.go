@@ -8,6 +8,11 @@
 // only if the objective improved without slew or capacitance violations
 // (Improvement- & Violation-Checking); otherwise the saved solution is
 // restored and the pass hands control to the next optimization.
+//
+// Passes mutate the tree exclusively through the ctree journaling setters
+// (SetWidth, SetSnake/AddSnake, SetBufferSize) and structural operations,
+// so an incremental evaluator installed as Context.Eng re-simulates only
+// each round's dirty cone instead of the whole network.
 package opt
 
 import (
@@ -56,6 +61,12 @@ type Context struct {
 	CapLimit float64 // hard capacitance limit, fF (0 = unlimited)
 	// MaxRounds bounds the improvement loop of each pass (default 10).
 	MaxRounds int
+	// Parallelism is the stage-simulation worker budget for evaluation
+	// (≤1 = serial, 0 = leave the evaluator's own setting). Before each
+	// CNE the context pushes it onto Eng when the evaluator accepts a
+	// budget (spice.Incremental does); plain evaluators ignore it.
+	// Parallelism changes wall-clock time only, never results.
+	Parallelism int
 	// MinGain is the smallest objective improvement (ps) that counts
 	// (default 0.05).
 	MinGain float64
@@ -97,14 +108,30 @@ func (cx *Context) logf(format string, args ...interface{}) {
 }
 
 // CNE runs the accurate evaluator at every corner and caches the results.
+// Evaluators that implement analysis.CornerEvaluator (the incremental
+// engines) get all corners in one call, so extraction is shared and the
+// per-corner simulations can be scheduled over one worker pool.
 func (cx *Context) CNE() ([]*analysis.Result, eval.Metrics, error) {
+	if cx.Parallelism > 0 {
+		if pe, ok := cx.Eng.(interface{ SetParallelism(int) }); ok {
+			pe.SetParallelism(cx.Parallelism)
+		}
+	}
 	var rs []*analysis.Result
-	for _, c := range cx.Tree.Tech.Corners {
-		r, err := cx.Eng.Evaluate(cx.Tree, c)
+	if ce, ok := cx.Eng.(analysis.CornerEvaluator); ok {
+		var err error
+		rs, err = ce.EvaluateCorners(cx.Tree, cx.Tree.Tech.Corners)
 		if err != nil {
 			return nil, eval.Metrics{}, err
 		}
-		rs = append(rs, r)
+	} else {
+		for _, c := range cx.Tree.Tech.Corners {
+			r, err := cx.Eng.Evaluate(cx.Tree, c)
+			if err != nil {
+				return nil, eval.Metrics{}, err
+			}
+			rs = append(rs, r)
+		}
 	}
 	m := eval.FromResults(cx.Tree, rs, cx.CapLimit)
 	cx.lastResults, cx.lastMetrics, cx.haveCNE = rs, m, true

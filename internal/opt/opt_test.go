@@ -35,7 +35,7 @@ func smallNetwork(t *testing.T) (*Context, *tech.Tech) {
 	}
 	buffering.CorrectPolarity(tr, comp, nil)
 	// Imbalance: snake one sink edge hard.
-	tr.Sinks()[0].Snake += 1500
+	tr.AddSnake(tr.Sinks()[0], 1500)
 	cx := &Context{Tree: tr, Eng: spice.New(), CapLimit: 1e9, MaxRounds: 6}
 	return cx, tk
 }
@@ -80,7 +80,7 @@ func TestImproveLoopRevertsOnWorse(t *testing.T) {
 				worst, slowest = v, s
 			}
 		}
-		slowest.Snake += 2000
+		cx.Tree.AddSnake(slowest, 2000)
 		return true
 	})
 	if err != nil {

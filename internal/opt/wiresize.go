@@ -22,8 +22,9 @@ func EstimateTws(cx *Context) (float64, error) {
 	if len(probes) == 0 {
 		return 0, nil
 	}
+	narrow := cx.narrowIdx()
 	for _, p := range probes {
-		p.WidthIdx = cx.narrowIdx()
+		cx.Tree.SetWidth(p, narrow)
 	}
 	cx.invalidate()
 	after, _, err := cx.CNE()
@@ -48,8 +49,9 @@ func EstimateTws(cx *Context) (float64, error) {
 		}
 	}
 	// Revert probes and the CNE cache.
+	wide := cx.wideIdx()
 	for _, p := range probes {
-		p.WidthIdx = cx.wideIdx()
+		cx.Tree.SetWidth(p, wide)
 	}
 	cx.invalidate()
 	return twsUnit, nil
@@ -152,7 +154,7 @@ func TopDownWiresizing(cx *Context) error {
 			if n.Parent != nil && n.WidthIdx == wide {
 				est := twsUnit * n.EdgeLen()
 				if budget := slk.EdgeSlow[n.ID] - rs; budget > est && est > 0 {
-					n.WidthIdx = narrow
+					cx.Tree.SetWidth(n, narrow)
 					rs += est
 					changed++
 				}

@@ -18,14 +18,21 @@ import (
 // out the paper's defaults fingerprint identically, and a future change to
 // a default can never alias cached results computed under the old one.
 // Map iteration order, function hooks (Log) and the engine's mutable run
-// counter never leak in.
+// counter never leak in. Parallelism is deliberately excluded: the
+// incremental evaluator produces results identical at any worker count, so
+// runs differing only in worker budget share one cache slot. FullEval is
+// included even though metrics match too — a caller explicitly requesting
+// the reference evaluation path must actually run it (and see its zeroed
+// stage_sims/stage_reuses counters), not be served a cached incremental
+// result.
 func OptionsFingerprint(o core.Options) string {
 	r := o.Resolve()
 	var b strings.Builder
 	techSum := sha256.Sum256([]byte(fmt.Sprintf("%+v", *r.Tech)))
 	fmt.Fprintf(&b, "tech=%s", hex.EncodeToString(techSum[:8]))
 	fmt.Fprintf(&b, ";eng=%g,%g,%g,%g", r.Engine.MaxSeg, r.Engine.Dt, r.Engine.SourceSlew, r.Engine.SettleTol)
-	fmt.Fprintf(&b, ";gamma=%g;rounds=%d;cycles=%d;bufstep=%g", r.Gamma, r.MaxRounds, r.Cycles, r.BufferStep)
+	fmt.Fprintf(&b, ";gamma=%g;rounds=%d;cycles=%d;bufstep=%g;fulleval=%t",
+		r.Gamma, r.MaxRounds, r.Cycles, r.BufferStep, r.FullEval)
 	b.WriteString(";ladder=")
 	for i, c := range r.Ladder {
 		if i > 0 {

@@ -30,6 +30,12 @@ type Config struct {
 	// QueueDepth bounds the number of jobs waiting for a worker (default
 	// 4096). Submissions beyond it fail fast with ErrQueueFull.
 	QueueDepth int
+	// JobParallelism is the per-job stage-simulation worker budget applied
+	// to submissions that leave Options.Parallelism unset. The default
+	// divides GOMAXPROCS evenly across the job workers (at least 1), so a
+	// fully loaded pool neither oversubscribes the host nor leaves cores
+	// idle when a single large job runs alone on a big machine.
+	JobParallelism int
 	// Log, when non-nil, receives service lifecycle lines (job started,
 	// finished, cache hits). Per-job progress goes to the job's own log.
 	Log func(format string, args ...interface{})
@@ -47,6 +53,12 @@ func (c *Config) fill() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4096
+	}
+	if c.JobParallelism <= 0 {
+		c.JobParallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.JobParallelism < 1 {
+			c.JobParallelism = 1
+		}
 	}
 }
 
@@ -308,6 +320,9 @@ func (s *Service) run(j *Job) {
 	j.state = Running
 	j.started = time.Now()
 	o := j.opts
+	if o.Parallelism == 0 {
+		o.Parallelism = s.cfg.JobParallelism
+	}
 	j.mu.Unlock()
 	defer cancel()
 	s.logf("job %s: running %s", j.id, j.benchmark.Name)

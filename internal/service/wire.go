@@ -55,6 +55,8 @@ type ResultWire struct {
 	Stages         []StageWire `json:"stages"`
 	Final          MetricsWire `json:"final"`
 	Runs           int         `json:"runs"`
+	StageSims      int         `json:"stage_sims,omitempty"`
+	StageReuses    int         `json:"stage_reuses,omitempty"`
 	ElapsedMs      float64     `json:"elapsed_ms"`
 }
 
@@ -73,6 +75,8 @@ func ResultToWire(r *core.Result) *ResultWire {
 		Legalization:   r.Legalization.String(),
 		Final:          MetricsToWire(r.Final),
 		Runs:           r.Runs,
+		StageSims:      r.StageSims,
+		StageReuses:    r.StageReuses,
 		ElapsedMs:      float64(r.Elapsed) / float64(time.Millisecond),
 	}
 	for _, s := range r.Stages {
@@ -139,6 +143,15 @@ type OptionsWire struct {
 	Cycles         int      `json:"cycles,omitempty"`
 	BufferStep     float64  `json:"buffer_step,omitempty"`
 	SkipStages     []string `json:"skip_stages,omitempty"`
+	// Parallelism is the per-job stage-simulation worker budget (0 = the
+	// service default, 1 = serial). It affects wall-clock time only — the
+	// incremental evaluator produces identical results at any setting —
+	// so it does not participate in result-cache keys.
+	Parallelism int `json:"parallelism,omitempty"`
+	// FullEval disables the incremental per-stage evaluation cache and
+	// re-simulates the whole network at every optimization round: the slow
+	// reference path the incremental engine is validated against.
+	FullEval bool `json:"full_eval,omitempty"`
 }
 
 // Options converts the wire form to flow options.
@@ -150,6 +163,8 @@ func (o OptionsWire) Options() core.Options {
 		MaxRounds:      o.MaxRounds,
 		Cycles:         o.Cycles,
 		BufferStep:     o.BufferStep,
+		Parallelism:    o.Parallelism,
+		FullEval:       o.FullEval,
 	}
 	if len(o.SkipStages) > 0 {
 		out.SkipStages = make(map[string]bool, len(o.SkipStages))

@@ -1,0 +1,231 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// randomStagedTree builds a small random buffered tree: a trunk buffer
+// chain with branch buffers and sinks hanging off it, enough stages for the
+// incremental cone logic to matter while keeping transients fast.
+func randomStagedTree(rng *rand.Rand, tk *tech.Tech) *ctree.Tree {
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	comp := tech.Composite{Type: tk.Inverters[1], N: 8}
+	cur := tr.Root
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		b := tr.AddChild(cur, ctree.Buffer, geom.Pt(float64(i+1)*400, rng.Float64()*200))
+		c := comp
+		b.Buf = &c
+		cur = b
+	}
+	hubs := []*ctree.Node{cur}
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		p := hubs[rng.Intn(len(hubs))]
+		loc := geom.Pt(p.Loc.X+200+rng.Float64()*600, p.Loc.Y+rng.Float64()*600-300)
+		if rng.Intn(2) == 0 {
+			b := tr.AddChild(p, ctree.Buffer, loc)
+			c := comp
+			b.Buf = &c
+			hubs = append(hubs, b)
+		} else {
+			hubs = append(hubs, tr.AddChild(p, ctree.Internal, loc))
+		}
+	}
+	for i := 0; i < 4+rng.Intn(4); i++ {
+		p := hubs[rng.Intn(len(hubs))]
+		tr.AddSink(p, geom.Pt(p.Loc.X+100+rng.Float64()*300, p.Loc.Y+rng.Float64()*300), 20+rng.Float64()*30, "")
+	}
+	return tr
+}
+
+// randomMove mutates the tree the way optimization rounds do, through the
+// journaling setters.
+func randomMove(rng *rand.Rand, tr *ctree.Tree) {
+	var edges, bufs []*ctree.Node
+	tr.PreOrder(func(n *ctree.Node) {
+		if n.Parent != nil {
+			edges = append(edges, n)
+		}
+		if n.Kind == ctree.Buffer {
+			bufs = append(bufs, n)
+		}
+	})
+	switch rng.Intn(4) {
+	case 0:
+		tr.SetWidth(edges[rng.Intn(len(edges))], rng.Intn(len(tr.Tech.Wires)))
+	case 1:
+		tr.AddSnake(edges[rng.Intn(len(edges))], float64(1+rng.Intn(6))*25)
+	case 2:
+		if len(bufs) > 0 {
+			tr.SetBufferSize(bufs[rng.Intn(len(bufs))], 2+rng.Intn(14))
+		}
+	case 3:
+		n := edges[rng.Intn(len(edges))]
+		if n.Route.Length() > 150 {
+			comp := tech.Composite{Type: tr.Tech.Inverters[1], N: 8}
+			b1 := tr.InsertOnEdge(n, n.Route.Length()/2, ctree.Buffer)
+			c1 := comp
+			b1.Buf = &c1
+			b2 := tr.InsertOnEdge(n, 10, ctree.Buffer)
+			c2 := comp
+			b2.Buf = &c2
+		}
+	}
+}
+
+func transientResultsClose(t *testing.T, a, b *analysis.Result, tol float64) {
+	t.Helper()
+	check := func(what string, ma, mb map[int]float64) {
+		if len(ma) != len(mb) {
+			t.Fatalf("%s size %d vs %d", what, len(ma), len(mb))
+		}
+		for id, v := range ma {
+			w, ok := mb[id]
+			if !ok || math.Abs(v-w) > tol {
+				t.Fatalf("%s[%d] = %v vs %v", what, id, v, w)
+			}
+		}
+	}
+	check("rise", a.Rise, b.Rise)
+	check("fall", a.Fall, b.Fall)
+	check("sinkSlew", a.SinkSlew, b.SinkSlew)
+	check("stageSlew", a.StageSlew, b.StageSlew)
+	if math.Abs(a.MaxSlew-b.MaxSlew) > tol || a.SlewViol != b.SlewViol {
+		t.Fatalf("maxSlew %v/%v viol %d/%d", a.MaxSlew, b.MaxSlew, a.SlewViol, b.SlewViol)
+	}
+}
+
+// TestIncrementalTransientParity: the acceptance property — random
+// sizing/snaking/buffer moves, incremental evaluation vs a fresh full
+// transient, every corner, within 1e-9 ps.
+func TestIncrementalTransientParity(t *testing.T) {
+	tk := tech.Default45()
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 3; iter++ {
+		tr := randomStagedTree(rng, tk)
+		ie := NewIncremental(tr, New(), 1)
+		for move := 0; move < 6; move++ {
+			rs, err := ie.EvaluateCorners(tr, tk.Corners)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci, c := range tk.Corners {
+				want, err := New().Evaluate(tr, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				transientResultsClose(t, want, rs[ci], 1e-9)
+			}
+			randomMove(rng, tr)
+		}
+	}
+}
+
+// TestIncrementalReusesCleanStages: a second evaluation of an unchanged
+// tree must integrate nothing; a reverted probe must be served from the
+// two-generation cache rather than re-integrating the cone.
+func TestIncrementalReusesCleanStages(t *testing.T) {
+	tk := tech.Default45()
+	rng := rand.New(rand.NewSource(12))
+	tr := randomStagedTree(rng, tk)
+	ie := NewIncremental(tr, New(), 1)
+	if _, err := ie.EvaluateCorners(tr, tk.Corners); err != nil {
+		t.Fatal(err)
+	}
+	base := ie.Stats
+	if _, err := ie.EvaluateCorners(tr, tk.Corners); err != nil {
+		t.Fatal(err)
+	}
+	if sims := ie.Stats.StagesSim - base.StagesSim; sims != 0 {
+		t.Fatalf("unchanged tree re-integrated %d stages", sims)
+	}
+
+	// Probe: snake one sink edge, evaluate, revert, evaluate. The revert
+	// evaluation must find the pre-probe generation in the cache.
+	var probe *ctree.Node
+	tr.PreOrder(func(n *ctree.Node) {
+		if probe == nil && n.Kind == ctree.Sink {
+			probe = n
+		}
+	})
+	tr.AddSnake(probe, 100)
+	if _, err := ie.EvaluateCorners(tr, tk.Corners); err != nil {
+		t.Fatal(err)
+	}
+	tr.AddSnake(probe, -100)
+	base = ie.Stats
+	if _, err := ie.EvaluateCorners(tr, tk.Corners); err != nil {
+		t.Fatal(err)
+	}
+	if sims := ie.Stats.StagesSim - base.StagesSim; sims != 0 {
+		t.Fatalf("probe revert re-integrated %d stages, want 0 (two-generation cache)", sims)
+	}
+}
+
+// TestIncrementalParallelMatchesSerial: the parallel stage scheduler must
+// be bit-identical to serial evaluation at any worker count. Run with
+// -race, this is also the data-race exercise for the worker pool.
+func TestIncrementalParallelMatchesSerial(t *testing.T) {
+	tk := tech.Default45()
+	rng := rand.New(rand.NewSource(23))
+	tr := randomStagedTree(rng, tk)
+	parallel := NewIncremental(tr, New(), 8)
+	for move := 0; move < 4; move++ {
+		ps, err := parallel.EvaluateCorners(tr, tk.Corners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fresh serial evaluator on a clone sees the same network with
+		// cold caches; results must be exactly equal, not just close.
+		serial := NewIncremental(tr.Clone(), New(), 1)
+		ss, err := serial.EvaluateCorners(serial.tree, tk.Corners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range tk.Corners {
+			transientResultsClose(t, ss[ci], ps[ci], 0) // exactly equal
+		}
+		randomMove(rng, tr)
+	}
+}
+
+// TestIncrementalSurvivesRestore: snapshot restore via struct assignment
+// (the IVC reject path) must invalidate correctly and stay at parity.
+func TestIncrementalSurvivesRestore(t *testing.T) {
+	tk := tech.Default45()
+	rng := rand.New(rand.NewSource(31))
+	tr := randomStagedTree(rng, tk)
+	ie := NewIncremental(tr, New(), 1)
+	if _, err := ie.EvaluateCorners(tr, tk.Corners); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Clone()
+	for i := 0; i < 3; i++ {
+		randomMove(rng, tr)
+	}
+	if _, err := ie.EvaluateCorners(tr, tk.Corners); err != nil {
+		t.Fatal(err)
+	}
+	*tr = *snap
+	base := ie.Stats
+	rs, err := ie.EvaluateCorners(tr, tk.Corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims := ie.Stats.StagesSim - base.StagesSim; sims != 0 {
+		t.Fatalf("restore re-integrated %d stages, want 0 (signature-matched generation)", sims)
+	}
+	for ci, c := range tk.Corners {
+		want, err := New().Evaluate(tr, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transientResultsClose(t, want, rs[ci], 1e-9)
+	}
+}
