@@ -341,6 +341,37 @@ func BenchmarkCascadeIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanMatrix smokes the non-default built-in synthesis plans end
+// to end on one trimmed benchmark: "fast" (reduced round budgets, no
+// convergence cycles) and "wire-only" (cascade without TBSZ). CI requires
+// both rows to be present (benchci -require), so a plan that stops
+// synthesizing fails the gate rather than disappearing from the report;
+// the 30% threshold gate on the unchanged default-plan benchmarks above
+// doubles as the pipeline-overhead budget.
+func BenchmarkPlanMatrix(b *testing.B) {
+	bm := trimmed("ispd09f22", 40)
+	for _, plan := range []string{"fast", "wire-only"} {
+		b.Run(plan, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Synthesize(bm.Clone(), core.Options{Plan: plan, MaxRounds: 6, Cycles: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Stages) == 0 || res.Final.Skew > res.Stages[0].Metrics.Skew {
+					b.Fatalf("plan %s did not improve skew", plan)
+				}
+				if plan == "wire-only" {
+					for _, st := range res.Stages {
+						if st.Name == "TBSZ" {
+							b.Fatal("wire-only plan ran TBSZ")
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkMazeRoute(b *testing.B) {
 	die := geom.NewRect(0, 0, 10000, 10000)
 	obs := geom.NewObstacleSet([]geom.Obstacle{

@@ -152,6 +152,25 @@ func compare(base, cur *Snapshot, threshold, minNs float64, normalize string) (r
 	return regressions, notes
 }
 
+// checkRequired returns one message per benchmark named in the
+// comma-separated spec that is missing from the current snapshot. It backs
+// the plan-matrix smoke gate: CI requires the named plan benchmarks to
+// have actually run (a plan that fails to synthesize produces no result
+// row, which would otherwise pass silently as "nothing regressed").
+func checkRequired(cur *Snapshot, spec string) []string {
+	var missing []string
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := cur.Benchmarks[name]; !ok {
+			missing = append(missing, fmt.Sprintf("required benchmark %s missing from current run", name))
+		}
+	}
+	return missing
+}
+
 // checkSpeedup enforces spec "slowName,fastName,minRatio": the slow
 // benchmark must cost at least minRatio times the fast one.
 func checkSpeedup(cur *Snapshot, spec string) error {
@@ -190,6 +209,7 @@ func main() {
 	minNs := flag.Float64("min-ns", 1e7, "baseline ns/op floor below which regressions only warn")
 	normalize := flag.String("normalize", "", "reference benchmark; both snapshots are rescaled by its timing to cancel machine-speed differences")
 	speedup := flag.String("speedup", "", "require 'slowBench,fastBench,minRatio' in the current run")
+	require := flag.String("require", "", "comma-separated benchmarks that must be present in the current run (smoke gate)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -231,6 +251,16 @@ func main() {
 		}
 		if len(regressions) == 0 {
 			fmt.Printf("benchci: %d benchmarks within %.0f%% of baseline\n", len(cur.Benchmarks), 100**threshold)
+		}
+	}
+	if *require != "" {
+		if missing := checkRequired(cur, *require); len(missing) > 0 {
+			for _, m := range missing {
+				fmt.Println("benchci: MISSING:", m)
+			}
+			failed = true
+		} else {
+			fmt.Println("benchci: all required benchmarks present")
 		}
 	}
 	if *speedup != "" {

@@ -119,3 +119,22 @@ func TestCheckSpeedup(t *testing.T) {
 		t.Error("malformed spec accepted")
 	}
 }
+
+func TestCheckRequired(t *testing.T) {
+	cur, _ := parse(strings.NewReader(sample))
+	if missing := checkRequired(cur, "BenchmarkFast, BenchmarkEvalPhase/full"); len(missing) != 0 {
+		t.Errorf("present benchmarks reported missing: %v", missing)
+	}
+	missing := checkRequired(cur, "BenchmarkFast,BenchmarkPlanMatrix/fast,BenchmarkPlanMatrix/wire-only")
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want 2 entries", missing)
+	}
+	for _, m := range missing {
+		if !strings.Contains(m, "BenchmarkPlanMatrix") {
+			t.Errorf("unexpected missing entry %q", m)
+		}
+	}
+	if missing := checkRequired(cur, " , ,"); len(missing) != 0 {
+		t.Errorf("blank spec entries counted: %v", missing)
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/flow"
 	"contango/internal/service"
 )
 
@@ -22,14 +24,29 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the contangod wire format)")
 	parallel := flag.Int("parallel", 0, "stage-simulation workers for the optimization cascade (0 = all CPUs, 1 = serial)")
 	fullEval := flag.Bool("full-eval", false, "disable the incremental evaluation cache (slow reference path, identical results)")
+	plan := flag.String("plan", "", "synthesis plan: a built-in name ("+strings.Join(flow.PlanNames(), ", ")+
+		") or a plan-spec string like 'tbsz:2,cycle(twsz,twsn)x2'")
+	listPlans := flag.Bool("plans", false, "list the built-in synthesis plans and exit")
 	flag.Parse()
+
+	if *listPlans {
+		for _, n := range flow.PlanNames() {
+			spec, _ := flow.BuiltinSpec(n)
+			fmt.Printf("%-10s %s\n", n, spec)
+		}
+		return
+	}
+	if _, err := flow.ResolvePlan(*plan); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	b, err := loadBench(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval}
+	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval, Plan: *plan}
 	if *verbose {
 		opt.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}

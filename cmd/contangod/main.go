@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"contango/internal/flow"
 	"contango/internal/service"
 )
 
@@ -29,10 +30,16 @@ func main() {
 	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
 	queue := flag.Int("queue", 4096, "max queued jobs")
 	parallel := flag.Int("parallel", 0, "per-job stage-simulation workers for jobs that don't set one (0 = GOMAXPROCS/workers)")
+	plan := flag.String("plan", "", "default synthesis plan for jobs that don't set one (built-in name or plan spec; empty = paper)")
 	verbose := flag.Bool("v", false, "log job lifecycle to stderr")
 	flag.Parse()
 
-	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue, JobParallelism: *parallel}
+	if _, err := flow.ResolvePlan(*plan); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue,
+		JobParallelism: *parallel, DefaultPlan: *plan}
 	logf := func(f string, a ...interface{}) {
 		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+f+"\n", a...)
 	}

@@ -42,6 +42,7 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/eval"
+	"contango/internal/flow"
 	"contango/internal/service"
 )
 
@@ -50,8 +51,13 @@ import (
 // 10% capacitance reserve, transient-checked optimization rounds — with
 // the incremental evaluation engine on and its stage simulations spread
 // over all CPUs (Options.Parallelism; Options.FullEval restores the
-// whole-tree reference path, identical results, much slower).
+// whole-tree reference path, identical results, much slower). Options.Plan
+// selects the synthesis pipeline: a built-in plan name (PlanNames) or a
+// plan-spec string (ValidatePlan documents the grammar).
 type Options = core.Options
+
+// StageRecord is one per-stage metric record (a Table III row).
+type StageRecord = core.StageRecord
 
 // Result is the outcome of a synthesis run, including the final tree,
 // per-stage metric records (the paper's Table III rows) and counters.
@@ -75,6 +81,25 @@ func WriteBenchmark(w io.Writer, b *bench.Benchmark) error { return bench.Write(
 
 // Synthesize runs the full Contango flow on a benchmark.
 func Synthesize(b *bench.Benchmark, o Options) (*Result, error) { return core.Synthesize(b, o) }
+
+// PlanNames lists the built-in synthesis plans: "paper" (the default — the
+// paper's exact flow), "fast" (reduced round budgets, no convergence
+// cycles), "wire-only", "tune-only", and "no-cycles".
+func PlanNames() []string { return flow.PlanNames() }
+
+// ValidatePlan checks a plan name or plan-spec string without running it.
+// The spec grammar is a comma-separated pass list, each pass optionally
+// carrying a round budget and a gate predicate, with convergence groups:
+//
+//	zst,legalize,buffer,polarity,tbsz:8,cycle(twsz,twsn,bwsn)x3,bwsn?skew>5
+//
+// Specs that name no construction pass get the construction prelude
+// (zst,legalize,buffer,polarity) prepended, so "tbsz:2,twsz" is a complete
+// plan. See the flow package for the full grammar.
+func ValidatePlan(nameOrSpec string) error {
+	_, err := flow.ResolvePlan(nameOrSpec)
+	return err
+}
 
 // SynthesizeContext runs the full flow honoring ctx: cancellation is
 // checked between stages and before every optimization round, so a killed

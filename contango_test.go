@@ -113,3 +113,21 @@ func TestSynthesizeContextPublic(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestPlanPublicSurface(t *testing.T) {
+	names := PlanNames()
+	if len(names) == 0 || names[0] != "paper" {
+		t.Fatalf("PlanNames() = %v, want paper first", names)
+	}
+	for _, n := range names {
+		if err := ValidatePlan(n); err != nil {
+			t.Errorf("built-in plan %s invalid: %v", n, err)
+		}
+	}
+	if err := ValidatePlan("tbsz:2,cycle(twsz,twsn)x2"); err != nil {
+		t.Errorf("custom spec rejected: %v", err)
+	}
+	if err := ValidatePlan("cycle(twsz"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}

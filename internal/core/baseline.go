@@ -44,7 +44,7 @@ func (k BaselineKind) String() string {
 // SynthesizeBaseline runs one of the baseline flows: construct, legalize,
 // buffer, fix polarity, evaluate — no optimization cascade.
 func SynthesizeBaseline(b *bench.Benchmark, kind BaselineKind, o Options) (*Result, error) {
-	o.fill()
+	o = o.Resolve()
 	start := time.Now()
 	res := &Result{Benchmark: b}
 

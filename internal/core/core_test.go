@@ -54,8 +54,9 @@ func TestSynthesizeEndToEnd(t *testing.T) {
 	if res.Buffers == 0 {
 		t.Error("no buffers inserted")
 	}
-	// Stage records: INITIAL first, final last, named per the paper.
-	names := []string{"INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"}
+	// Stage records: INITIAL first, final last, named per the paper, and
+	// each convergence cycle recorded as its own stage.
+	names := []string{"INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN", "CYCLE1"}
 	if len(res.Stages) != len(names) {
 		t.Fatalf("stages=%d want %d", len(res.Stages), len(names))
 	}
@@ -121,10 +122,12 @@ func TestBaselinesRunAndLoseToContango(t *testing.T) {
 
 func TestSkipStages(t *testing.T) {
 	b := tinyBench()
+	// Mixed-case names must skip too: Resolve canonicalizes the set with
+	// the same helper the cache-key fingerprint uses.
 	res, err := Synthesize(b, Options{
 		MaxRounds:  2,
 		Cycles:     1,
-		SkipStages: map[string]bool{"tbsz": true, "bwsn": true},
+		SkipStages: map[string]bool{"TBSZ": true, "bwsn": true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +136,35 @@ func TestSkipStages(t *testing.T) {
 		if st.Name == "TBSZ" || st.Name == "BWSN" {
 			t.Errorf("skipped stage %s still recorded", st.Name)
 		}
+	}
+}
+
+func TestCyclesDisabled(t *testing.T) {
+	b := tinyBench()
+	res, err := Synthesize(b, Options{MaxRounds: 2, Cycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stages {
+		if strings.HasPrefix(st.Name, "CYCLE") {
+			t.Errorf("Cycles: -1 still recorded %s", st.Name)
+		}
+	}
+	if res.Stages[len(res.Stages)-1].Name != "BWSN" {
+		t.Errorf("last stage = %s, want BWSN", res.Stages[len(res.Stages)-1].Name)
+	}
+
+	// Resolution semantics: 0 keeps the paper default, negatives normalize
+	// to the canonical "disabled" value, and resolution stays idempotent.
+	if got := (Options{}).Resolve().Cycles; got != 3 {
+		t.Errorf("zero Cycles resolved to %d, want 3", got)
+	}
+	if got := (Options{Cycles: -7}).Resolve().Cycles; got != -1 {
+		t.Errorf("negative Cycles resolved to %d, want -1", got)
+	}
+	r := (Options{Cycles: -1}).Resolve()
+	if again := r.Resolve(); again.Cycles != r.Cycles {
+		t.Errorf("Resolve not idempotent: %d then %d", r.Cycles, again.Cycles)
 	}
 }
 

@@ -4,106 +4,36 @@
 // cascade — top-down buffer sizing (TBSZ), top-down wiresizing (TWSZ),
 // top-down wiresnaking (TWSN) and bottom-level fine-tuning (BWSZ/BWSN) —
 // each gated by Clock-Network Evaluation and Improvement- &
-// Violation-Checking. It also provides the contest-style baseline flows used
-// for the paper's Table IV comparison.
+// Violation-Checking. The phases are registered as passes in the
+// declarative pipeline engine (internal/flow); Synthesize resolves
+// Options.Plan to a pass pipeline ("paper" — the exact cascade above — by
+// default) and runs it. It also provides the contest-style baseline flows
+// used for the paper's Table IV comparison.
 package core
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"contango/internal/analysis"
 	"contango/internal/bench"
-	"contango/internal/buffering"
 	"contango/internal/ctree"
-	"contango/internal/dme"
 	"contango/internal/eval"
-	"contango/internal/geom"
+	"contango/internal/flow"
 	"contango/internal/opt"
 	"contango/internal/route"
 	"contango/internal/spice"
 	"contango/internal/tech"
 )
 
-// Options configures a synthesis run.
-type Options struct {
-	// Tech defaults to tech.Default45().
-	Tech *tech.Tech
-	// Engine defaults to spice.New(). FastSim overrides it with coarser
-	// settings suitable for very large instances (the paper's TI runs trade
-	// accuracy knobs for runtime the same way).
-	Engine  *spice.Engine
-	FastSim bool
-	// Gamma is the capacitance reserve for post-insertion optimization
-	// (default 0.10, the paper's 10%).
-	Gamma float64
-	// Ladder overrides the composite buffer ladder (default: batches of 8
-	// small inverters, the paper's contest configuration).
-	Ladder []tech.Composite
-	// LargeInverters switches the ladder to groups of large inverters (the
-	// paper's TI scalability configuration: ~8x faster, slightly worse CLR
-	// and capacitance).
-	LargeInverters bool
-	// MaxRounds bounds each optimization pass (default 10).
-	MaxRounds int
-	// SkipStages disables individual stages by name ("tbsz", "twsz",
-	// "twsn", "bwsn") for ablations.
-	SkipStages map[string]bool
-	// BufferStep is the candidate spacing for buffer insertion (µm);
-	// 0 = default.
-	BufferStep float64
-	// Cycles is the number of extra wire-pass convergence cycles after the
-	// named cascade (default 3; each costs one recalibration).
-	Cycles int
-	// Parallelism is the worker budget for concurrent stage simulations in
-	// the optimization cascade's incremental evaluator (0 = GOMAXPROCS,
-	// 1 = serial). It changes wall-clock time only, never results.
-	Parallelism int
-	// FullEval forces whole-tree re-evaluation for every CNE instead of
-	// the incremental per-stage cache — the reference path the incremental
-	// engine is validated against. Identical results, much slower.
-	FullEval bool
-	// Log receives progress lines when non-nil.
-	Log func(format string, args ...interface{})
-}
+// Options configures a synthesis run; it lives in internal/flow so the
+// pipeline engine and the passes share one type, and is re-exported here
+// for the public surface. The zero value is the paper's contest setup.
+type Options = flow.Options
 
-// defaultCycles is the extra wire-pass convergence budget when unset.
-const defaultCycles = 3
-
-func (o *Options) extraCycles() int {
-	if o.Cycles <= 0 {
-		return defaultCycles
-	}
-	return o.Cycles
-}
-
-// Resolve returns a copy of the options with every defaulted knob made
-// explicit: technology model, engine, capacitance reserve, ladder, round
-// and cycle budgets. The flow itself runs on resolved options and the
-// service layer fingerprints them for its result cache, so the two can
-// never disagree about what a zero value means.
-func (o Options) Resolve() Options {
-	o.fill()
-	if o.MaxRounds <= 0 {
-		o.MaxRounds = opt.DefaultMaxRounds
-	}
-	if o.Cycles <= 0 {
-		o.Cycles = defaultCycles
-	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	return o
-}
-
-// StageRecord captures metrics after one flow stage (a Table III row entry).
-type StageRecord struct {
-	Name    string
-	Metrics eval.Metrics
-	Runs    int // cumulative accurate-evaluation count
-}
+// StageRecord captures metrics after one flow stage (a Table III row).
+type StageRecord = flow.StageRecord
 
 // Result is the outcome of a synthesis run.
 type Result struct {
@@ -128,223 +58,97 @@ type Result struct {
 	Composite      tech.Composite
 }
 
-func (o *Options) fill() {
-	if o.Tech == nil {
-		o.Tech = tech.Default45()
-	}
-	if o.Engine == nil {
-		o.Engine = spice.New()
-		if o.FastSim {
-			o.Engine.MaxSeg = 250
-			o.Engine.Dt = 2
-		}
-	}
-	if o.Gamma == 0 {
-		o.Gamma = 0.10
-	}
-	if len(o.Ladder) == 0 {
-		if o.LargeInverters {
-			o.Ladder = o.Tech.BatchLadder("Large", 1)
-		} else {
-			o.Ladder = o.Tech.BatchLadder("Small", 8)
-		}
-	}
-}
-
-func (o *Options) logf(format string, args ...interface{}) {
-	if o.Log != nil {
-		o.Log(format, args...)
-	}
-}
-
 // Synthesize runs the full Contango flow on a benchmark.
 func Synthesize(b *bench.Benchmark, o Options) (*Result, error) {
 	return SynthesizeContext(context.Background(), b, o)
 }
 
-// SynthesizeContext runs the full Contango flow on a benchmark, honoring
-// ctx: cancellation is checked between flow stages and before every
-// improvement round of the optimization cascade, so a killed run stops
-// burning simulator invocations promptly. On cancellation the context's
-// error is returned and the partial tree is discarded.
+// SynthesizeContext runs the synthesis pipeline selected by Options.Plan
+// on a benchmark, honoring ctx: cancellation is checked between pipeline
+// passes and before every improvement round of the optimization cascade,
+// so a killed run stops burning simulator invocations promptly. On
+// cancellation the context's error is returned and the partial tree is
+// discarded.
 func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Result, error) {
 	o = o.Resolve()
+	plan, err := flow.ResolvePlan(o.Plan)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	res := &Result{Benchmark: b}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// 1. Initial zero-skew tree (ZST/DME).
-	tr := dme.BuildZST(o.Tech, b.Source, b.Sinks, dme.Options{})
-	tr.SourceR = b.SourceR
-	res.Tree = tr
-	o.logf("%s: ZST built, %d sinks, wirelength %.0f µm", b.Name, len(b.Sinks), tr.Wirelength())
-
-	// 2. Obstacle avoidance. The slew-free capacitance used for the detour
-	// decision matches the workhorse composite the insertion phase will
-	// actually place (the ladder's first rung).
-	obs := geom.NewObstacleSet(b.Obstacles)
-	safeCap := buffering.SafeLoad(o.Tech, o.Ladder[0])
-	rep, err := route.Legalize(tr, obs, b.Die, route.Options{SafeCap: safeCap})
-	if err != nil {
-		return nil, fmt.Errorf("legalize: %w", err)
-	}
-	res.Legalization = *rep
-	o.logf("%s: legalized (%v)", b.Name, rep)
-
-	// 3. Composite buffer insertion with sizing (90% of the power budget).
-	sweep, err := buffering.InsertBestComposite(tr, o.Ladder, b.CapLimit, o.Gamma,
-		buffering.Options{Obs: obs, Step: o.BufferStep})
-	if err != nil {
-		return nil, fmt.Errorf("buffering: %w", err)
-	}
-	res.Composite = sweep.Composite
-	o.logf("%s: inserted %d x %v, cap %.1f%% of limit", b.Name, sweep.Added,
-		sweep.Composite, 100*sweep.TotalCap/b.CapLimit)
-
-	// 4. Sink-polarity correction (Proposition 2). Correcting inverters use
-	// a half-strength composite: their input capacitance lands on stages
-	// already near their load target.
-	res.InvertedSinks = len(buffering.InvertedSinks(tr))
-	polComp := sweep.Composite
-	if half := polComp.N / 2; half >= 1 {
-		polComp.N = half
-	}
-	res.AddedInverters = buffering.CorrectPolarity(tr, polComp, obs)
-	o.logf("%s: %d inverted sinks fixed with %d inverters", b.Name,
-		res.InvertedSinks, res.AddedInverters)
-	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("after polarity: %w", err)
-	}
-
-	// 5. SPICE-driven optimization cascade (paper Fig. 1): every IVC round
-	// is checked by the accurate transient engine, exactly as the paper
-	// checks every round with SPICE; run counts land in the published
-	// range because each pass converges in a handful of rounds. The
-	// incremental evaluator wraps the engine so each round re-simulates
-	// only the dirty cone of its mutations, with independent stages
-	// integrated concurrently — identical results, a fraction of the work.
-	var cne analysis.Evaluator = o.Engine
+	// The SPICE-driven cascade passes (paper Fig. 1) check every IVC round
+	// with the accurate transient engine, exactly as the paper checks every
+	// round with SPICE. The incremental evaluator wraps the engine so each
+	// round re-simulates only the dirty cone of its mutations, with
+	// independent stages integrated concurrently — identical results, a
+	// fraction of the work. The pipeline arms it lazily, right before the
+	// first pass that needs evaluation, and records the INITIAL stage.
 	var inc *spice.Incremental
-	if !o.FullEval {
-		inc = spice.NewIncremental(tr, o.Engine, o.Parallelism)
-		cne = inc
-	}
-	cx := &opt.Context{
-		Tree: tr, Eng: cne, Obs: obs, CapLimit: b.CapLimit,
-		MaxRounds: o.MaxRounds, Parallelism: o.Parallelism,
-		Log: o.Log, Check: ctx.Err,
-	}
-	record := func(name string) error {
-		_, m, err := cx.Baseline()
-		if err != nil {
-			return err
+	s := &flow.State{Opts: o, Bench: b}
+	s.ArmEval = func(ctx context.Context, s *flow.State) error {
+		if s.Tree == nil {
+			// A mis-ordered custom plan (an evaluated or gated pass before
+			// zst) parses fine; fail the run cleanly instead of letting the
+			// evaluator dereference a nil tree.
+			return fmt.Errorf("plan needs a tree before pass evaluation (zst must run first)")
 		}
-		res.Stages = append(res.Stages, StageRecord{Name: name, Metrics: m, Runs: o.Engine.Runs})
-		o.logf("%s: [%s] %s", b.Name, name, m)
-		return nil
-	}
-	calibrate := func() (eval.Metrics, error) {
-		_, m, err := cx.Baseline()
-		return m, err
+		var cne analysis.Evaluator = o.Engine
+		if !o.FullEval {
+			inc = spice.NewIncremental(s.Tree, o.Engine, o.Parallelism)
+			cne = inc
+		}
+		s.Opt = &opt.Context{
+			Tree: s.Tree, Eng: cne, Obs: s.Obs, CapLimit: b.CapLimit,
+			MaxRounds: o.MaxRounds, Parallelism: o.Parallelism,
+			Log: o.Log, Check: ctx.Err,
+		}
+		return s.Record("INITIAL")
 	}
 
-	if err := record("INITIAL"); err != nil {
+	if err := flow.Run(ctx, s, plan); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
-	type stage struct {
-		name string
-		run  func(*opt.Context) error
+	if s.Tree == nil {
+		return nil, fmt.Errorf("plan %q built no tree", plan.Name)
 	}
-	// Composite stages: wiresizing includes the skew-directed buffer
-	// downsizing (both are sizing steps); wiresnaking is preceded by the
-	// pair-insertion equalizer, which does the coarse slow-down that
-	// snaking then refines.
-	sizing := func(cx *opt.Context) error {
-		if err := opt.TopDownWiresizing(cx); err != nil {
-			return err
-		}
-		return opt.SkewBufferSizing(cx)
-	}
-	snaking := func(cx *opt.Context) error {
-		if err := opt.PairInsertion(cx); err != nil {
-			return err
-		}
-		return opt.TopDownWiresnaking(cx)
-	}
-	cascade := []stage{
-		{"TBSZ", opt.BufferSizing},
-		{"TWSZ", sizing},
-		{"TWSN", snaking},
-		{"BWSN", opt.BottomLevelTuning},
-	}
-	for _, st := range cascade {
-		if o.SkipStages[lower(st.name)] {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := st.run(cx); err != nil {
+	if len(s.Stages) == 0 {
+		// Construction-only plans still report measured metrics.
+		if err := s.EnsureEval(ctx); err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			return nil, fmt.Errorf("%s: %w", st.name, err)
-		}
-		if err := record(st.name); err != nil {
 			return nil, err
-		}
-	}
-	// Extra convergence cycles over the wire passes (the feedback arrows in
-	// the paper's Fig. 1): each recalibration re-anchors the hybrid, so the
-	// residual model error shrinks geometrically.
-	for cycle := 0; cycle < o.extraCycles(); cycle++ {
-		improved := false
-		before := res.Stages[len(res.Stages)-1].Metrics
-		for _, st := range cascade[1:] { // TWSZ, TWSN, BWSN
-			if o.SkipStages[lower(st.name)] {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if err := st.run(cx); err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				return nil, fmt.Errorf("cycle %d %s: %w", cycle, st.name, err)
-			}
-		}
-		m, err := calibrate()
-		if err != nil {
-			return nil, err
-		}
-		if m.Skew < before.Skew-0.05 || m.CLR < before.CLR-0.05 {
-			improved = true
-		}
-		last := res.Stages[len(res.Stages)-1].Name
-		res.Stages[len(res.Stages)-1] = StageRecord{
-			Name: last, Metrics: m, Runs: o.Engine.Runs,
-		}
-		o.logf("%s: [cycle %d] %s", b.Name, cycle, m)
-		if !improved {
-			break
 		}
 	}
 
-	res.Final = res.Stages[len(res.Stages)-1].Metrics
-	res.Runs = o.Engine.Runs
+	res := &Result{
+		Benchmark:      b,
+		Tree:           s.Tree,
+		Stages:         s.Stages,
+		Final:          s.Stages[len(s.Stages)-1].Metrics,
+		Runs:           o.Engine.Runs,
+		Legalization:   s.Legalization,
+		Composite:      s.Composite,
+		InvertedSinks:  s.InvertedSinks,
+		AddedInverters: s.AddedInverters,
+	}
 	if inc != nil {
 		res.StageSims = inc.Stats.StagesSim
 		res.StageReuses = inc.Stats.StagesHit
-		o.logf("%s: incremental CNE: %d stage sims, %d cache hits (%.0f%% reused)",
+		s.Logf("%s: incremental CNE: %d stage sims, %d cache hits (%.0f%% reused)",
 			b.Name, res.StageSims, res.StageReuses,
 			100*float64(res.StageReuses)/float64(max1(res.StageSims+res.StageReuses)))
 	}
-	res.Buffers = len(tr.Buffers())
+	res.Buffers = len(s.Tree.Buffers())
 	res.Elapsed = time.Since(start)
-	if err := tr.Validate(); err != nil {
+	if err := s.Tree.Validate(); err != nil {
 		return nil, fmt.Errorf("final validation: %w", err)
 	}
 	return res, nil
@@ -355,16 +159,6 @@ func max1(n int) int {
 		return 1
 	}
 	return n
-}
-
-func lower(s string) string {
-	b := []byte(s)
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-		}
-	}
-	return string(b)
 }
 
 // CNEOnly evaluates an existing tree at all corners without modifying it

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"contango/internal/flow"
+)
+
+// sameRun asserts two synthesis results are bit-identical: same stage
+// sequence, same metrics at every stage, same cumulative evaluation
+// counts, same final numbers.
+func sameRun(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Stages) != len(b.Stages) {
+		t.Fatalf("%s: stage counts differ: %d vs %d", label, len(a.Stages), len(b.Stages))
+	}
+	for i := range a.Stages {
+		x, y := a.Stages[i], b.Stages[i]
+		if x.Name != y.Name {
+			t.Errorf("%s: stage %d named %s vs %s", label, i, x.Name, y.Name)
+		}
+		if x.Metrics != y.Metrics {
+			t.Errorf("%s: stage %s metrics differ: %v vs %v", label, x.Name, x.Metrics, y.Metrics)
+		}
+		if x.Runs != y.Runs {
+			t.Errorf("%s: stage %s run counts differ: %d vs %d", label, x.Name, x.Runs, y.Runs)
+		}
+	}
+	if a.Final != b.Final {
+		t.Errorf("%s: final metrics differ: %v vs %v", label, a.Final, b.Final)
+	}
+	if a.Runs != b.Runs {
+		t.Errorf("%s: total run counts differ: %d vs %d", label, a.Runs, b.Runs)
+	}
+	if a.Buffers != b.Buffers || a.AddedInverters != b.AddedInverters {
+		t.Errorf("%s: construction diverged: %d/%d buffers, %d/%d inverters",
+			label, a.Buffers, b.Buffers, a.AddedInverters, b.AddedInverters)
+	}
+}
+
+// TestBuiltinPlansResolve: every built-in plan parses, and its canonical
+// rendering is a fixpoint (parse(render(p)) == p), which is what lets the
+// service fingerprint plans by their expanded spec.
+func TestBuiltinPlansResolve(t *testing.T) {
+	names := flow.PlanNames()
+	if len(names) == 0 || names[0] != flow.DefaultPlanName {
+		t.Fatalf("PlanNames() = %v, want paper first", names)
+	}
+	for _, name := range names {
+		p, err := flow.ResolvePlan(name)
+		if err != nil {
+			t.Fatalf("built-in %s: %v", name, err)
+		}
+		again, err := flow.ResolvePlan(p.String())
+		if err != nil {
+			t.Fatalf("re-resolving %s (%q): %v", name, p.String(), err)
+		}
+		if again.String() != p.String() {
+			t.Errorf("%s not canonical: %q -> %q", name, p.String(), again.String())
+		}
+	}
+	// Resolve canonicalizes Options.Plan to the expanded default spec.
+	r := (Options{}).Resolve()
+	want, _ := flow.ResolvePlan(flow.DefaultPlanName)
+	if r.Plan != want.String() {
+		t.Errorf("resolved zero plan = %q, want %q", r.Plan, want.String())
+	}
+}
+
+// TestPaperPlanMatchesExplicitSpec is the plan-equivalence acceptance
+// test: the default "paper" plan and its spelled-out spec must reproduce
+// the cascade bit-identically (stage list, metrics, evaluation counts) on
+// a trimmed ISPD'09 benchmark.
+func TestPaperPlanMatchesExplicitSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cascade comparison is slow")
+	}
+	opts := Options{MaxRounds: 4, Cycles: 1}
+	def, err := Synthesize(trimmedISPD(t, "ispd09f22", 30), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := opts
+	spec.Plan = "zst,legalize,buffer,polarity,tbsz,twsz,twsn,bwsn,cycle(twsz,twsn,bwsn)"
+	explicit, err := Synthesize(trimmedISPD(t, "ispd09f22", 30), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "paper vs explicit spec", def, explicit)
+
+	// The pre-refactor cascade shape: INITIAL, the four named passes, then
+	// one recorded convergence cycle per executed cycle.
+	want := []string{"INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN", "CYCLE1"}
+	for i, name := range want {
+		if i >= len(def.Stages) || def.Stages[i].Name != name {
+			t.Fatalf("stage sequence %v, want prefix %v", stageNames(def), want)
+		}
+	}
+}
+
+// TestWireOnlyPlanEqualsSkipStages: the wire-only built-in must be
+// bit-identical to ablating TBSZ from the default plan via SkipStages.
+func TestWireOnlyPlanEqualsSkipStages(t *testing.T) {
+	skip, err := Synthesize(tinyBench(), Options{
+		MaxRounds: 2, Cycles: 1, SkipStages: map[string]bool{"tbsz": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := Synthesize(tinyBench(), Options{MaxRounds: 2, Cycles: 1, Plan: "wire-only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "SkipStages{tbsz} vs wire-only", skip, wire)
+	for _, st := range wire.Stages {
+		if st.Name == "TBSZ" {
+			t.Error("wire-only plan ran TBSZ")
+		}
+	}
+}
+
+// TestCustomPlanSpecEndToEnd: a typed cascade spec (construction prelude
+// implied) runs end to end and emits per-pass progress events.
+func TestCustomPlanSpecEndToEnd(t *testing.T) {
+	var progress, logs int
+	o := Options{
+		MaxRounds: 2,
+		Plan:      "tbsz:2,twsz:2",
+		Log: func(format string, args ...interface{}) {
+			if flow.IsProgressLine(format) {
+				progress++
+			} else {
+				logs++
+			}
+		},
+	}
+	res, err := Synthesize(tinyBench(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stageNames(res)
+	want := "INITIAL,TBSZ,TWSZ"
+	if strings.Join(got, ",") != want {
+		t.Errorf("stages %v, want %s", got, want)
+	}
+	if progress == 0 {
+		t.Error("no per-pass progress events emitted")
+	}
+	if logs == 0 {
+		t.Error("regular progress log lines vanished")
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatedPass: a gate predicate that can never hold skips its pass.
+func TestGatedPass(t *testing.T) {
+	res, err := Synthesize(tinyBench(), Options{MaxRounds: 2, Plan: "tbsz:2,twsz:2?skew<-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stages {
+		if st.Name == "TWSZ" {
+			t.Error("gated-off pass still recorded a stage")
+		}
+	}
+}
+
+// TestInvalidPlanRejected: unknown names and malformed specs fail fast.
+func TestInvalidPlanRejected(t *testing.T) {
+	for _, spec := range []string{"bogus", "tbsz:,twsz", "cycle(twsz", "cycle()x2", "tbsz?skew=3"} {
+		if _, err := Synthesize(tinyBench(), Options{Plan: spec}); err == nil {
+			t.Errorf("plan %q accepted", spec)
+		}
+	}
+}
+
+// TestMisorderedPlanFailsCleanly: a parseable plan that reaches an
+// evaluated (or gated) pass before construction must fail with an error,
+// not a nil-tree panic — the service runs jobs without a recover().
+func TestMisorderedPlanFailsCleanly(t *testing.T) {
+	for _, spec := range []string{
+		"tbsz,zst,legalize,buffer,polarity",
+		"zst?skew>5,legalize,buffer,polarity",
+	} {
+		_, err := Synthesize(tinyBench(), Options{MaxRounds: 1, Plan: spec})
+		if err == nil {
+			t.Errorf("mis-ordered plan %q succeeded", spec)
+		} else if !strings.Contains(err.Error(), "zst must run first") {
+			t.Errorf("plan %q: unexpected error %v", spec, err)
+		}
+	}
+}
+
+func stageNames(r *Result) []string {
+	out := make([]string, len(r.Stages))
+	for i, s := range r.Stages {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package flow is the declarative pass-pipeline engine behind the Contango
+// synthesizer. The paper's methodology (Fig. 1) is an ordered cascade —
+// ZST/DME construction, obstacle legalization, composite buffering,
+// polarity correction, then the SPICE-checked sizing passes with
+// convergence feedback — and this package turns that hard-coded sequence
+// into data: passes register themselves in a process-wide registry, a Plan
+// is an ordered list of pass specs (with per-pass round budgets, gate
+// predicates, and convergence cycle groups), and Run executes a plan over
+// a shared State. Named built-in plans ("paper", "fast", "wire-only",
+// "tune-only", "no-cycles") plus a compact plan-spec grammar let callers
+// express ablations and alternative cascades without touching the flow
+// code; core registers the concrete passes and re-exports Options.
+package flow
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Pass is one named step of a synthesis pipeline. Name is the canonical
+// identifier used in plan specs; Run mutates the shared State.
+type Pass interface {
+	Name() string
+	Run(ctx context.Context, s *State) error
+}
+
+// RunFunc is the signature of a pass body.
+type RunFunc func(ctx context.Context, s *State) error
+
+type funcPass struct {
+	name string
+	run  RunFunc
+}
+
+func (p funcPass) Name() string                            { return p.name }
+func (p funcPass) Run(ctx context.Context, s *State) error { return p.run(ctx, s) }
+
+// NewPass adapts a named function to the Pass interface. The name is
+// canonicalized with Canon.
+func NewPass(name string, run RunFunc) Pass { return funcPass{Canon(name), run} }
+
+// Registration couples a Pass with its pipeline scheduling attributes.
+type Registration struct {
+	Pass Pass
+	// Optional passes honor Options.SkipStages (the ablation switch).
+	Optional bool
+	// Record emits a StageRecord (a Table III row) after the pass runs.
+	Record bool
+	// NeedsEval arms the accurate evaluator (State.ArmEval) before the
+	// pass runs; arming records the INITIAL stage.
+	NeedsEval bool
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Registration{}
+)
+
+// Register adds a pass to the process-wide registry. It panics on an empty
+// name or a duplicate registration — both are programming errors.
+func Register(r Registration) {
+	if r.Pass == nil {
+		panic("flow: Register called with nil pass")
+	}
+	name := Canon(r.Pass.Name())
+	if name == "" {
+		panic("flow: Register called with empty pass name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("flow: pass %q registered twice", name))
+	}
+	registry[name] = r
+}
+
+// Lookup returns the registration for a canonical pass name.
+func Lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := registry[Canon(name)]
+	return r, ok
+}
+
+// PassNames returns the registered pass names, sorted.
+func PassNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Canon returns the canonical form of a pass or stage name: trimmed and
+// ASCII-lowercased. It is the one normalization used everywhere a stage
+// name is compared — plan parsing, SkipStages lookups, cache-key
+// fingerprints, and the service wire layer.
+func Canon(s string) string {
+	s = strings.TrimSpace(s)
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

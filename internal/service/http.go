@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"contango/internal/bench"
+	"contango/internal/flow"
 )
 
 // Server is the contangod HTTP front end over a Service.
@@ -196,8 +197,9 @@ func (s *Server) serveSVG(w http.ResponseWriter, j *Job) {
 }
 
 // serveEvents streams the job's progress log as server-sent events: one
-// "log" event per line (buffered lines replay first), then a final "state"
-// event carrying the terminal JobWire.
+// "log" event per line (buffered lines replay first) — with the
+// pipeline's per-pass progress lines promoted to "pass" events — then a
+// final "state" event carrying the terminal JobWire.
 func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -212,7 +214,7 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	past, ch, cancel := j.Subscribe(256)
 	defer cancel()
 	for _, line := range past {
-		sseEvent(w, "log", line)
+		sseEvent(w, logEventType(line), line)
 	}
 	fl.Flush()
 	for {
@@ -224,12 +226,21 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 				fl.Flush()
 				return
 			}
-			sseEvent(w, "log", line)
+			sseEvent(w, logEventType(line), line)
 			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// logEventType routes one job log line to its SSE event type: pipeline
+// per-pass progress lines become "pass" events, everything else "log".
+func logEventType(line string) string {
+	if flow.IsProgressLine(line) {
+		return "pass"
+	}
+	return "log"
 }
 
 func sseEvent(w http.ResponseWriter, event, data string) {

@@ -310,3 +310,63 @@ func TestHTTPResultBeforeDone(t *testing.T) {
 		t.Errorf("state after DELETE = %s, want canceled", canceled.State)
 	}
 }
+
+// TestHTTPCustomPlanWithPassEvents is the API acceptance path: a custom
+// plan spec submitted over HTTP runs end to end, its stage list reflects
+// the plan, and the SSE stream carries dedicated per-pass "pass" events.
+func TestHTTPCustomPlanWithPassEvents(t *testing.T) {
+	ts, _ := testServer(t, 1)
+
+	req := SubmitRequest{
+		BenchText: benchText(t, "http-plan", 0),
+		Options:   OptionsWire{MaxRounds: 1, Plan: "tbsz:1,twsz:1"},
+	}
+	var jw JobWire
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", req), http.StatusAccepted, &jw)
+	done := pollDone(t, ts.URL, jw.ID)
+	if done.State != Done {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+	names := make([]string, len(done.Result.Stages))
+	for i, s := range done.Result.Stages {
+		names[i] = s.Name
+	}
+	if got := strings.Join(names, ","); got != "INITIAL,TBSZ,TWSZ" {
+		t.Errorf("stages over the wire = %s, want INITIAL,TBSZ,TWSZ", got)
+	}
+
+	// The finished job replays its log over SSE; per-pass progress lines
+	// arrive as "pass" events, ordinary flow lines stay "log".
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "event: pass") {
+		t.Errorf("SSE stream carries no pass events:\n%s", body)
+	}
+	if !strings.Contains(body, "event: log") {
+		t.Errorf("SSE stream lost its log events:\n%s", body)
+	}
+	if !strings.Contains(body, "event: state") {
+		t.Errorf("SSE stream missing the terminal state event:\n%s", body)
+	}
+}
+
+func TestHTTPInvalidPlanRejected(t *testing.T) {
+	ts, _ := testServer(t, 1)
+	req := SubmitRequest{
+		BenchText: benchText(t, "http-badplan", 0),
+		Options:   OptionsWire{Plan: "cycle(twsz"},
+	}
+	var apiErr apiError
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", req), http.StatusBadRequest, &apiErr)
+	if !strings.Contains(apiErr.Error, "cycle") {
+		t.Errorf("error %q does not mention the bad spec", apiErr.Error)
+	}
+}

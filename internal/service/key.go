@@ -9,6 +9,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/flow"
 )
 
 // OptionsFingerprint canonicalizes the knobs of a synthesis configuration
@@ -33,6 +34,10 @@ func OptionsFingerprint(o core.Options) string {
 	fmt.Fprintf(&b, ";eng=%g,%g,%g,%g", r.Engine.MaxSeg, r.Engine.Dt, r.Engine.SourceSlew, r.Engine.SettleTol)
 	fmt.Fprintf(&b, ";gamma=%g;rounds=%d;cycles=%d;bufstep=%g;fulleval=%t",
 		r.Gamma, r.MaxRounds, r.Cycles, r.BufferStep, r.FullEval)
+	// Resolve canonicalized the plan to its expanded spec, so a named plan
+	// and its spelled-out equivalent share one cache slot while any two
+	// different cascades address differently.
+	fmt.Fprintf(&b, ";plan=%s", r.Plan)
 	b.WriteString(";ladder=")
 	for i, c := range r.Ladder {
 		if i > 0 {
@@ -40,11 +45,12 @@ func OptionsFingerprint(o core.Options) string {
 		}
 		fmt.Fprintf(&b, "%dx%s(%g/%g/%g)", c.N, c.Type.Name, c.Type.Cin, c.Type.Cout, c.Type.Rout)
 	}
-	// Skipped stages, sorted for stable map order.
+	// Skipped stages, sorted for stable map order and normalized with the
+	// same canonical helper the pipeline's own skip lookups use.
 	var skips []string
 	for name, on := range r.SkipStages {
 		if on {
-			skips = append(skips, strings.ToLower(name))
+			skips = append(skips, flow.Canon(name))
 		}
 	}
 	sort.Strings(skips)

@@ -18,6 +18,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/flow"
 )
 
 // Config tunes a Service.
@@ -36,6 +37,11 @@ type Config struct {
 	// fully loaded pool neither oversubscribes the host nor leaves cores
 	// idle when a single large job runs alone on a big machine.
 	JobParallelism int
+	// DefaultPlan is applied to submissions that leave Options.Plan unset
+	// (empty keeps the library default, the "paper" plan). Unlike
+	// JobParallelism it shapes results, so it is applied before the job's
+	// content key is computed.
+	DefaultPlan string
 	// Log, when non-nil, receives service lifecycle lines (job started,
 	// finished, cache hits). Per-job progress goes to the job's own log.
 	Log func(format string, args ...interface{})
@@ -144,6 +150,14 @@ func (s *Service) logf(format string, args ...interface{}) {
 func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	if b == nil || len(b.Sinks) == 0 {
 		return nil, ErrNoBench
+	}
+	if o.Plan == "" {
+		o.Plan = s.cfg.DefaultPlan
+	}
+	// Reject unparsable plans up front: a bad spec would only fail after
+	// queueing, and its raw string would pollute the key space.
+	if _, err := flow.ResolvePlan(o.Plan); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
 	}
 	key := JobKey(b, o)
 

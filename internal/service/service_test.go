@@ -12,6 +12,7 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/dme"
+	"contango/internal/flow"
 	"contango/internal/geom"
 	"contango/internal/spice"
 )
@@ -450,5 +451,111 @@ func TestSweepExpansion(t *testing.T) {
 	}
 	if suite := ISPD09Requests(core.Options{}); len(suite) != 7 {
 		t.Errorf("suite requests = %d, want 7", len(suite))
+	}
+}
+
+func TestPlanKeying(t *testing.T) {
+	b := tinyBench("plankeys", 0)
+
+	// The default, the named default, and its spelled-out spec all address
+	// one cache slot.
+	def := JobKey(b, core.Options{})
+	if JobKey(b, core.Options{Plan: "paper"}) != def {
+		t.Error("named default plan should share the zero-options key")
+	}
+	spelled := core.Options{Plan: "zst,legalize,buffer,polarity,tbsz,twsz,twsn,bwsn,cycle(twsz,twsn,bwsn)"}
+	if JobKey(b, spelled) != def {
+		t.Error("spelled-out paper spec should share the default key")
+	}
+	// Different cascades address differently.
+	if JobKey(b, core.Options{Plan: "fast"}) == def {
+		t.Error("fast plan must change the key")
+	}
+	if JobKey(b, core.Options{Plan: "wire-only"}) == JobKey(b, core.Options{Plan: "fast"}) {
+		t.Error("distinct plans share a key")
+	}
+	// Disabled convergence cycles are distinct from the default budget.
+	if JobKey(b, core.Options{Cycles: -1}) == def {
+		t.Error("Cycles: -1 must change the key")
+	}
+}
+
+func TestSubmitRejectsInvalidPlan(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	if _, err := svc.Submit(tinyBench("badplan", 0), core.Options{Plan: "cycle(twsz"}); err == nil {
+		t.Fatal("invalid plan spec accepted")
+	}
+	if st := svc.Stats(); st.Jobs != 0 {
+		t.Errorf("rejected submission left %d jobs", st.Jobs)
+	}
+}
+
+func TestDefaultPlanApplied(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultPlan: "no-cycles"})
+	defer svc.Close()
+	o := fastOpts()
+	j, err := svc.Submit(tinyBench("defplan", 0), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o
+	want.Plan = "no-cycles"
+	if j.Key() != JobKey(j.Benchmark(), want) {
+		t.Error("service default plan not reflected in the job key")
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// An explicit plan still wins over the service default.
+	j2, err := svc.Submit(tinyBench("defplan", 0), core.Options{Plan: "tune-only", MaxRounds: 1,
+		SkipStages: map[string]bool{"tbsz": true, "bwsn": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Key() == j.Key() {
+		t.Error("explicit plan collapsed onto the service default")
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobStreamsPassEvents(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	j, err := svc.Submit(tinyBench("passevents", 0), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var passes int
+	for _, line := range j.Logs() {
+		if flow.IsProgressLine(line) {
+			passes++
+		}
+	}
+	if passes == 0 {
+		t.Error("job log carries no per-pass pipeline progress lines")
+	}
+}
+
+func TestSkipStagesCaseKeyConsistency(t *testing.T) {
+	// {"TBSZ": true} and {"tbsz": true} must share a key AND behave
+	// identically at run time (Resolve canonicalizes the skip set), so the
+	// cache can never serve one configuration's result for the other.
+	b := tinyBench("skipcase", 0)
+	upper := core.Options{SkipStages: map[string]bool{"TBSZ": true}}
+	lower := core.Options{SkipStages: map[string]bool{"tbsz": true}}
+	if JobKey(b, upper) != JobKey(b, lower) {
+		t.Fatal("case-differing skip sets diverge in the key")
+	}
+	if r := upper.Resolve(); !r.SkipStages["tbsz"] {
+		t.Error("Resolve did not canonicalize the skip set")
+	}
+	if upper.SkipStages["tbsz"] {
+		t.Error("Resolve mutated the caller's map")
 	}
 }

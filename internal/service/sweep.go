@@ -12,12 +12,18 @@ type Sweep struct {
 	Gammas         []float64 `json:"gammas,omitempty"`
 	MaxRounds      []int     `json:"max_rounds,omitempty"`
 	LargeInverters []bool    `json:"large_inverters,omitempty"`
+	// Plans sweeps the synthesis pipeline: built-in plan names or plan-spec
+	// strings (a plan-matrix run in one batch).
+	Plans []string `json:"plans,omitempty"`
 }
 
 // Expand returns one Options per sweep point, derived from base. With no
 // axes set it returns just base.
 func (sw Sweep) Expand(base core.Options) []core.Options {
 	out := []core.Options{base}
+	if len(sw.Plans) > 0 {
+		out = expandAxis(out, len(sw.Plans), func(o *core.Options, i int) { o.Plan = sw.Plans[i] })
+	}
 	if len(sw.Gammas) > 0 {
 		out = expandAxis(out, len(sw.Gammas), func(o *core.Options, i int) { o.Gamma = sw.Gammas[i] })
 	}

@@ -10,6 +10,7 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/eval"
+	"contango/internal/flow"
 )
 
 // MetricsWire is eval.Metrics with explicit units in the field names.
@@ -136,13 +137,20 @@ func (j *Job) Wire() *JobWire {
 // OptionsWire is the JSON-submittable subset of core.Options (hooks,
 // custom engines and custom technology models are library-only).
 type OptionsWire struct {
-	FastSim        bool     `json:"fast_sim,omitempty"`
-	Gamma          float64  `json:"gamma,omitempty"`
-	LargeInverters bool     `json:"large_inverters,omitempty"`
-	MaxRounds      int      `json:"max_rounds,omitempty"`
-	Cycles         int      `json:"cycles,omitempty"`
-	BufferStep     float64  `json:"buffer_step,omitempty"`
-	SkipStages     []string `json:"skip_stages,omitempty"`
+	// Plan selects the synthesis pipeline: a built-in plan name ("paper",
+	// "fast", "wire-only", "tune-only", "no-cycles") or a plan-spec string
+	// such as "tbsz:2,cycle(twsz,twsn)x2". Different plans content-address
+	// differently, so they never share a result-cache slot.
+	Plan           string  `json:"plan,omitempty"`
+	FastSim        bool    `json:"fast_sim,omitempty"`
+	Gamma          float64 `json:"gamma,omitempty"`
+	LargeInverters bool    `json:"large_inverters,omitempty"`
+	MaxRounds      int     `json:"max_rounds,omitempty"`
+	// Cycles is the wire-pass convergence budget: 0 keeps the default (3),
+	// a negative value disables convergence cycles entirely.
+	Cycles     int      `json:"cycles,omitempty"`
+	BufferStep float64  `json:"buffer_step,omitempty"`
+	SkipStages []string `json:"skip_stages,omitempty"`
 	// Parallelism is the per-job stage-simulation worker budget (0 = the
 	// service default, 1 = serial). It affects wall-clock time only — the
 	// incremental evaluator produces identical results at any setting —
@@ -157,6 +165,7 @@ type OptionsWire struct {
 // Options converts the wire form to flow options.
 func (o OptionsWire) Options() core.Options {
 	out := core.Options{
+		Plan:           o.Plan,
 		FastSim:        o.FastSim,
 		Gamma:          o.Gamma,
 		LargeInverters: o.LargeInverters,
@@ -169,7 +178,7 @@ func (o OptionsWire) Options() core.Options {
 	if len(o.SkipStages) > 0 {
 		out.SkipStages = make(map[string]bool, len(o.SkipStages))
 		for _, s := range o.SkipStages {
-			out.SkipStages[strings.ToLower(s)] = true
+			out.SkipStages[flow.Canon(s)] = true
 		}
 	}
 	return out
