@@ -1,8 +1,13 @@
 // Command contango runs the Contango clock-network synthesis flow on a named
 // synthetic benchmark or a benchmark file and prints per-stage metrics.
+// With -cache-dir it shares the durable result store used by contangod:
+// a run whose (benchmark, options) content address is already on disk is
+// served from the store instead of re-synthesized, and fresh runs persist
+// their result for the next invocation.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -13,6 +18,7 @@ import (
 	"contango/internal/core"
 	"contango/internal/flow"
 	"contango/internal/service"
+	"contango/internal/store"
 )
 
 func main() {
@@ -27,6 +33,7 @@ func main() {
 	plan := flag.String("plan", "", "synthesis plan: a built-in name ("+strings.Join(flow.PlanNames(), ", ")+
 		") or a plan-spec string like 'tbsz:2,cycle(twsz,twsn)x2'")
 	listPlans := flag.Bool("plans", false, "list the built-in synthesis plans and exit")
+	cacheDir := flag.String("cache-dir", "", "durable result store to reuse prior results from and persist this run's result to (shareable with contangod -data-dir)")
 	flag.Parse()
 
 	if *listPlans {
@@ -50,10 +57,44 @@ func main() {
 	if *verbose {
 		opt.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
-	res, err := core.Synthesize(b, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	// The durable store is keyed by the same content address the service
+	// uses (JobKey excludes hooks and parallelism), so the one-shot CLI,
+	// repeated invocations of itself and a contangod sharing the directory
+	// all reuse each other's finished results.
+	var st *store.Store
+	var key string
+	var res *core.Result
+	if *cacheDir != "" {
+		st, err = store.Open(*cacheDir, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		key = service.JobKey(b, opt)
+		if data, gerr := st.Get(service.ResultArtifactKey(key)); gerr == nil {
+			if cached, derr := core.DecodeResult(bytes.NewReader(data)); derr == nil {
+				res = cached
+				fmt.Fprintf(os.Stderr, "%s: reusing cached result %s from %s\n", b.Name, key[:12], *cacheDir)
+			}
+		}
+	}
+	if res == nil {
+		res, err = core.Synthesize(b, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if st != nil {
+			var buf bytes.Buffer
+			perr := core.EncodeResult(&buf, res)
+			if perr == nil {
+				perr = st.Put(service.ResultArtifactKey(key), buf.Bytes())
+			}
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "warning: result not cached: %v\n", perr)
+			}
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

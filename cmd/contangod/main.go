@@ -1,12 +1,21 @@
 // Command contangod serves the Contango synthesizer over HTTP: submit
 // jobs and parameter-sweep batches, poll status, stream progress, fetch
-// metrics and SVG renderings. See internal/service.Server for the API.
+// metrics, SVG renderings and persisted artifacts. See
+// internal/service.Server for the API.
+//
+// With -data-dir the daemon is durable: finished results persist in a
+// content-addressed store (a restart serves them as disk-backed cache
+// hits), queued-but-unfinished jobs are journaled and re-run after a
+// crash or redeploy, and SIGTERM drains gracefully — intake stops, jobs
+// get a grace period, and whatever is still unfinished is journaled as
+// pending for the next start.
 //
 // Example:
 //
-//	contangod -addr :8080 -workers 4 &
+//	contangod -addr :8080 -workers 4 -data-dir /var/lib/contango &
 //	curl -s localhost:8080/api/v1/jobs -d '{"bench":"ispd09f22"}'
 //	curl -s localhost:8080/api/v1/jobs/job-0001
+//	curl -s localhost:8080/api/v1/jobs/job-0001/artifacts
 package main
 
 import (
@@ -27,10 +36,12 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size")
-	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
+	cache := flag.Int("cache", 256, "result-cache entries in memory (negative disables caching)")
 	queue := flag.Int("queue", 4096, "max queued jobs")
 	parallel := flag.Int("parallel", 0, "per-job stage-simulation workers for jobs that don't set one (0 = GOMAXPROCS/workers)")
 	plan := flag.String("plan", "", "default synthesis plan for jobs that don't set one (built-in name or plan spec; empty = paper)")
+	dataDir := flag.String("data-dir", "", "durable storage directory: persists results/logs/SVGs and recovers unfinished jobs across restarts (empty = in-memory only)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period for in-flight jobs")
 	verbose := flag.Bool("v", false, "log job lifecycle to stderr")
 	flag.Parse()
 
@@ -39,14 +50,25 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue,
-		JobParallelism: *parallel, DefaultPlan: *plan}
+		JobParallelism: *parallel, DefaultPlan: *plan, DataDir: *dataDir}
 	logf := func(f string, a ...interface{}) {
 		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+f+"\n", a...)
 	}
 	if *verbose {
 		cfg.Log = logf
 	}
-	svc := service.New(cfg)
+	svc, err := service.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		// Recovery is worth a line even without -v: it explains why a fresh
+		// process may already be running jobs.
+		st := svc.Stats()
+		logf("durable store at %s: recovered %d unfinished job(s) from the journal",
+			*dataDir, st.RecoveredJobs)
+	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
 
 	stop := make(chan os.Signal, 1)
@@ -55,12 +77,32 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-stop
-		logf("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		logf("shutting down (grace %v)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
-		svc.CancelAll()
-		svc.Close()
+		// HTTP and service drain concurrently: srv.Shutdown blocks on
+		// active handlers, and an SSE watcher of a running job only
+		// disconnects once the service finishes that job — sequencing the
+		// two would let one connected client burn the whole grace period
+		// before any job got a chance to drain.
+		httpDone := make(chan struct{})
+		go func() {
+			defer close(httpDone)
+			_ = srv.Shutdown(ctx)
+		}()
+		// Graceful service stop: intake is closed, in-flight jobs get the
+		// grace period, stragglers are journaled as pending so the next
+		// start re-queues them.
+		svc.Shutdown(ctx)
+		<-httpDone
+		_ = srv.Close() // drop any streaming connections that outlived the drain
+		if *verbose {
+			st := svc.Stats()
+			logf("final stats: %d jobs (%d completed, %d failed, %d canceled), "+
+				"%d cache hits (%d from disk), %d misses, %d evictions",
+				st.Jobs, st.Completed, st.Failed, st.Canceled,
+				st.CacheHits, st.DiskHits, st.CacheMisses, st.CacheEvictions)
+		}
 	}()
 
 	logf("contangod listening on %s (%d workers, %d cache entries)", *addr, *workers, *cache)
@@ -69,6 +111,6 @@ func main() {
 		os.Exit(1)
 	}
 	// ListenAndServe returns as soon as Shutdown starts; wait for the drain,
-	// job cancellation and worker-pool teardown to actually finish.
+	// pending-job journaling and worker-pool teardown to actually finish.
 	<-drained
 }

@@ -25,6 +25,14 @@
 //	jobs, _ := svc.SubmitBatch(contango.ISPD09Requests(contango.Options{}))
 //	results, err := contango.WaitJobs(context.Background(), jobs)
 //
+// With ServiceConfig.DataDir set (use OpenService to catch setup errors)
+// the service is durable: finished results, job logs and SVG renderings
+// persist in a content-addressed on-disk store (internal/store), a job
+// journal records every submission, and a restarted service replays it —
+// finished jobs become disk-backed cache hits, unfinished ones are
+// re-queued and run again. EncodeResult/DecodeResult expose the same
+// result serialization for library users managing their own storage.
+//
 // The same service powers the contangod HTTP server (cmd/contangod).
 //
 // The library is self-contained: it includes its own technology model
@@ -127,8 +135,25 @@ type SynthesisRequest = service.Request
 type ServiceStats = service.Stats
 
 // NewService starts a synthesis service with the given configuration.
-// Close it when done.
+// Close it when done. For configurations with ServiceConfig.DataDir set,
+// prefer OpenService: NewService panics if the durable store cannot be
+// initialized.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService starts a synthesis service, surfacing durable-store
+// initialization errors (unwritable ServiceConfig.DataDir, …). Stop it
+// with Close, or Shutdown for a graceful drain that journals unfinished
+// jobs for the next start.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
+
+// EncodeResult serializes a synthesis result in the durable store's
+// self-contained format (benchmark, technology, full tree, metric
+// history); DecodeResult round-trips it exactly.
+func EncodeResult(w io.Writer, res *Result) error { return core.EncodeResult(w, res) }
+
+// DecodeResult parses a result written by EncodeResult, revalidating the
+// rebuilt clock tree.
+func DecodeResult(r io.Reader) (*Result, error) { return core.DecodeResult(r) }
 
 // ISPD09Requests builds one batch request per ISPD'09 suite benchmark.
 func ISPD09Requests(o Options) []SynthesisRequest { return service.ISPD09Requests(o) }

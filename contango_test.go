@@ -131,3 +131,60 @@ func TestPlanPublicSurface(t *testing.T) {
 		t.Error("malformed spec accepted")
 	}
 }
+
+func TestDurablePublicSurface(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := Benchmark("ispd09f22")
+	b.Sinks = b.Sinks[:10]
+	opts := Options{
+		MaxRounds:  1,
+		Cycles:     1,
+		SkipStages: map[string]bool{"tbsz": true, "twsz": true, "twsn": true, "bwsn": true},
+	}
+
+	svc, err := OpenService(ServiceConfig{Workers: 1, DataDir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.Submit(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	// The result codec round-trips through the public surface.
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Final != res.Final || back.Runs != res.Runs {
+		t.Error("public codec round-trip drifted")
+	}
+
+	// A reopened service serves the finished job from disk.
+	svc2, err := OpenService(ServiceConfig{Workers: 1, DataDir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	b2, _ := Benchmark("ispd09f22")
+	b2.Sinks = b2.Sinks[:10]
+	j2, err := svc2.Submit(b2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !j2.CacheHit() || j2.CacheTier() != "disk" {
+		t.Errorf("restart not served from disk: hit=%v tier=%q", j2.CacheHit(), j2.CacheTier())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// synthTiny runs a cheap cascade for codec tests.
+func synthTiny(t *testing.T) *Result {
+	t.Helper()
+	res, err := Synthesize(tinyBench(), Options{MaxRounds: 2, Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	res := synthTiny(t)
+
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scalar payload round-trips exactly.
+	if got.Runs != res.Runs || got.Elapsed != res.Elapsed ||
+		got.StageSims != res.StageSims || got.StageReuses != res.StageReuses ||
+		got.Buffers != res.Buffers || got.InvertedSinks != res.InvertedSinks ||
+		got.AddedInverters != res.AddedInverters ||
+		got.Legalization != res.Legalization || got.Composite != res.Composite {
+		t.Errorf("counters drifted: got %+v want %+v", got, res)
+	}
+	if !reflect.DeepEqual(got.Stages, res.Stages) {
+		t.Errorf("stage records drifted:\n got %+v\nwant %+v", got.Stages, res.Stages)
+	}
+	if got.Final != res.Final {
+		t.Errorf("final metrics drifted: got %+v want %+v", got.Final, res.Final)
+	}
+
+	// The benchmark keeps its content address.
+	if got.Benchmark.Hash() != res.Benchmark.Hash() {
+		t.Error("benchmark content address changed through the codec")
+	}
+
+	// The tree round-trips structurally and electrically.
+	if err := got.Tree.Validate(); err != nil {
+		t.Fatalf("decoded tree invalid: %v", err)
+	}
+	if got.Tree.MaxID() != res.Tree.MaxID() || got.Tree.NumNodes() != res.Tree.NumNodes() {
+		t.Fatalf("node table drifted: %d/%d vs %d/%d",
+			got.Tree.MaxID(), got.Tree.NumNodes(), res.Tree.MaxID(), res.Tree.NumNodes())
+	}
+	if got.Tree.Wirelength() != res.Tree.Wirelength() || got.Tree.TotalCap() != res.Tree.TotalCap() {
+		t.Error("tree electrical totals drifted through the codec")
+	}
+	for id := 0; id < res.Tree.MaxID(); id++ {
+		a, b := res.Tree.Node(id), got.Tree.Node(id)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("node %d liveness drifted", id)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Kind != b.Kind || a.Loc != b.Loc || a.WidthIdx != b.WidthIdx ||
+			a.Snake != b.Snake || a.SinkCap != b.SinkCap || a.Name != b.Name {
+			t.Fatalf("node %d fields drifted", id)
+		}
+		if len(a.Children) != len(b.Children) {
+			t.Fatalf("node %d child count drifted", id)
+		}
+		for i := range a.Children {
+			if a.Children[i].ID != b.Children[i].ID {
+				t.Fatalf("node %d child order drifted", id)
+			}
+		}
+	}
+
+	// Re-encoding the decoded result is byte-identical: the codec is a
+	// fixed point, which is what lets a disk-served cache hit render the
+	// same wire JSON as the original run.
+	var buf2 bytes.Buffer
+	if err := EncodeResult(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("encode(decode(encode(r))) != encode(r)")
+	}
+
+	// A decoded tree still drives the SVG renderer to the same bytes.
+	var svgA, svgB bytes.Buffer
+	if err := RenderSVG(&svgA, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderSVG(&svgB, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(svgA.Bytes(), svgB.Bytes()) {
+		t.Error("decoded result renders a different SVG")
+	}
+}
+
+func TestDecodeResultRejectsDamage(t *testing.T) {
+	res := synthTiny(t)
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]string{
+		"not json":        "{broken",
+		"wrong version":   strings.Replace(buf.String(), `"version":1`, `"version":99`, 1),
+		"dangling parent": strings.Replace(buf.String(), `"parent":0`, `"parent":99999`, 1),
+	}
+	for name, text := range cases {
+		if _, err := DecodeResult(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: decode accepted damaged input", name)
+		}
+	}
+	if err := EncodeResult(&buf, nil); err == nil {
+		t.Error("encoding a nil result should fail")
+	}
+}
+
+func TestResultClone(t *testing.T) {
+	res := synthTiny(t)
+	cp := res.Clone()
+
+	// Content matches…
+	a, _ := json.Marshal(resultFingerprint(res))
+	b, _ := json.Marshal(resultFingerprint(cp))
+	if !bytes.Equal(a, b) {
+		t.Fatal("clone differs from original")
+	}
+	// …but nothing mutable is shared.
+	cp.Final.Skew = -123
+	cp.Stages[0].Runs = -1
+	cp.Benchmark.Sinks[0].Cap = -1
+	cp.Tree.Root.Children[0].Snake = 999
+
+	if res.Final.Skew == -123 || res.Stages[0].Runs == -1 {
+		t.Error("clone shares scalar/stage storage with the original")
+	}
+	if res.Benchmark.Sinks[0].Cap == -1 {
+		t.Error("clone shares the benchmark sink slice")
+	}
+	if res.Tree.Root.Children[0].Snake == 999 {
+		t.Error("clone shares tree nodes")
+	}
+	if (*Result)(nil).Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+// resultFingerprint projects the comparable parts of a result.
+func resultFingerprint(r *Result) map[string]interface{} {
+	return map[string]interface{}{
+		"final":  r.Final,
+		"stages": r.Stages,
+		"runs":   r.Runs,
+		"bench":  r.Benchmark.Hash(),
+		"nodes":  r.Tree.NumNodes(),
+		"wl":     r.Tree.Wirelength(),
+	}
+}

@@ -507,6 +507,32 @@ func (tr *Tree) Clone() *Tree {
 	return cp
 }
 
+// Restore rebuilds a Tree from an externally reconstructed node table —
+// the inverse of walking tr.Node(id) for id < tr.MaxID(). nodes must be
+// dense by ID (nil entries mark deleted IDs) with Parent and Children
+// pointers already linked; the single Source node is taken as the root.
+// The rebuilt tree is validated before being returned, so a decoder
+// feeding this from persisted bytes can trust the result as much as a
+// freshly synthesized tree.
+func Restore(t *tech.Tech, sourceR float64, nodes []*Node) (*Tree, error) {
+	tr := &Tree{Tech: t, SourceR: sourceR, nodes: nodes}
+	for _, n := range nodes {
+		if n != nil && n.Kind == Source {
+			if tr.Root != nil {
+				return nil, fmt.Errorf("ctree: restore found two source nodes (%d and %d)", tr.Root.ID, n.ID)
+			}
+			tr.Root = n
+		}
+	}
+	if tr.Root == nil {
+		return nil, fmt.Errorf("ctree: restore found no source node")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("ctree: restore: %w", err)
+	}
+	return tr, nil
+}
+
 // Validate checks structural invariants and returns the first violation:
 // exactly one root of kind Source; parent/child pointers consistent; every
 // route connects Parent.Loc to Loc with axis-parallel segments; sinks are

@@ -1,21 +1,46 @@
 package service
 
 import (
+	"bytes"
+	"errors"
+
 	"container/list"
 	"sync"
 
 	"contango/internal/core"
+	"contango/internal/store"
 )
 
-// resultCache is a content-addressed LRU cache of finished synthesis
-// results. Keys are JobKey content addresses, so a hit is exact: the same
-// benchmark bytes and the same canonicalized options. Values are shared
-// *core.Result pointers and must be treated as read-only by callers.
+// cacheTier says which tier served a cache hit.
+type cacheTier string
+
+const (
+	tierMemory cacheTier = "memory"
+	tierDisk   cacheTier = "disk"
+)
+
+// resultCache is a two-tier content-addressed cache of finished synthesis
+// results: a bounded in-memory LRU in front of an optional durable object
+// store. Writes go through to disk immediately (so a finished result is
+// durable the moment it is cached, not when it happens to be evicted),
+// which makes memory eviction a pure demotion — the entry stays servable
+// from the disk tier. A memory miss consults the store, decodes the
+// persisted result and promotes it back into the LRU. Corrupt blobs are
+// quarantined by the store and degrade to plain misses.
+//
+// Keys are JobKey content addresses, so a hit at either tier is exact:
+// the same benchmark bytes and the same canonicalized options. Values are
+// shared *core.Result pointers; the service boundary (Job.Result) hands
+// out defensive clones so callers can never mutate a cached entry.
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+	disk  *store.Store // nil = memory only
+
+	misses    int // submissions served by neither tier
+	evictions int // memory demotions (entries remain on disk when a store is attached)
 }
 
 type cacheEntry struct {
@@ -23,17 +48,34 @@ type cacheEntry struct {
 	res *core.Result
 }
 
-// newResultCache returns a cache holding up to max entries (max >= 1).
-func newResultCache(max int) *resultCache {
+// newResultCache returns a cache holding up to max entries in memory
+// (max >= 1), backed by disk when a store is given.
+func newResultCache(max int, disk *store.Store) *resultCache {
 	return &resultCache{
 		max:   max,
 		order: list.New(),
 		items: make(map[string]*list.Element),
+		disk:  disk,
 	}
 }
 
-// Get returns the cached result for key, refreshing its recency.
-func (c *resultCache) Get(key string) (*core.Result, bool) {
+// Get returns the cached result for key and the tier that served it,
+// refreshing recency and promoting disk hits back into memory.
+func (c *resultCache) Get(key string) (*core.Result, cacheTier, bool) {
+	if res, ok := c.getMemory(key); ok {
+		return res, tierMemory, true
+	}
+	if res, ok := c.getDisk(key); ok {
+		return res, tierDisk, true
+	}
+	return nil, "", false
+}
+
+// getMemory consults only the memory tier (cheap: one mutex hop). The
+// service calls this under its own lock; the disk tier is consulted
+// off-lock via getDisk so one slow disk decode never stalls the whole
+// service.
+func (c *resultCache) getMemory(key string) (*core.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -44,11 +86,55 @@ func (c *resultCache) Get(key string) (*core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// Add inserts (or refreshes) a result, evicting the least recently used
-// entries beyond capacity.
-func (c *resultCache) Add(key string, res *core.Result) {
+// getDisk consults the disk tier after a memory miss, promoting a hit
+// back into the LRU. A full miss (no disk tier, blob absent, quarantined,
+// or undecodable) is counted here — getMemory and getDisk together see
+// exactly one miss per unserved submission.
+func (c *resultCache) getDisk(key string) (*core.Result, bool) {
+	if c.disk != nil {
+		// Disk read and decode happen outside both the cache and service
+		// locks: promotions must not stall concurrent hits or submissions.
+		if data, err := c.disk.Get(ResultArtifactKey(key)); err == nil {
+			if res, err := core.DecodeResult(bytes.NewReader(data)); err == nil {
+				c.mu.Lock()
+				c.insertLocked(key, res)
+				c.mu.Unlock()
+				return res, true
+			}
+			// Decoded fine at the framing layer but not at the codec layer:
+			// drop the blob so the next miss re-runs instead of re-failing.
+			_ = c.disk.Delete(ResultArtifactKey(key))
+		}
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Add inserts (or refreshes) a result in the memory tier and writes it
+// through to the disk tier. The disk write failing (or there being no disk
+// tier) never fails the Add — the memory tier still serves the entry — but
+// the error is returned so the service can log lost durability.
+func (c *resultCache) Add(key string, res *core.Result) error {
+	var diskErr error
+	if c.disk != nil {
+		var buf bytes.Buffer
+		if err := core.EncodeResult(&buf, res); err != nil {
+			diskErr = err
+		} else {
+			diskErr = c.disk.Put(ResultArtifactKey(key), buf.Bytes())
+		}
+	}
+	c.mu.Lock()
+	c.insertLocked(key, res)
+	c.mu.Unlock()
+	return diskErr
+}
+
+// insertLocked puts a result at the front of the LRU, demoting the
+// least-recently-used entries beyond capacity. Callers hold c.mu.
+func (c *resultCache) insertLocked(key string, res *core.Result) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.order.MoveToFront(el)
@@ -59,12 +145,23 @@ func (c *resultCache) Add(key string, res *core.Result) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
-// Len returns the number of cached results.
+// Len returns the number of results in the memory tier.
 func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// Counters snapshots the miss/eviction counters.
+func (c *resultCache) Counters() (misses, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses, c.evictions
+}
+
+// errNoStore is returned by artifact lookups on a service without DataDir.
+var errNoStore = errors.New("service: no durable store configured")

@@ -2,12 +2,14 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 
 	"contango/internal/bench"
 	"contango/internal/flow"
+	"contango/internal/store"
 )
 
 // Server is the contangod HTTP front end over a Service.
@@ -20,6 +22,8 @@ import (
 //	GET    /api/v1/jobs/{id}/result  finished result -> ResultWire
 //	GET    /api/v1/jobs/{id}/log     buffered progress lines -> {lines: []string}
 //	GET    /api/v1/jobs/{id}/svg     rendered clock tree (image/svg+xml)
+//	GET    /api/v1/jobs/{id}/artifacts        persisted artifacts -> {artifacts: [{name,size}]}
+//	GET    /api/v1/jobs/{id}/artifacts/{name} one artifact blob (result|log|svg|job)
 //	GET    /api/v1/jobs/{id}/events  server-sent progress events
 //	GET    /api/v1/benchmarks    named benchmarks -> {benchmarks: []string}
 //	GET    /api/v1/stats         service counters -> Stats
@@ -167,6 +171,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]interface{}{"lines": j.Logs()})
 	case sub == "svg" && r.Method == http.MethodGet:
 		s.serveSVG(w, j)
+	case sub == "artifacts" && r.Method == http.MethodGet:
+		s.serveArtifactList(w, j)
+	case strings.HasPrefix(sub, "artifacts/") && r.Method == http.MethodGet:
+		s.serveArtifact(w, j, strings.TrimPrefix(sub, "artifacts/"))
 	case sub == "events" && r.Method == http.MethodGet:
 		s.serveEvents(w, r, j)
 	default:
@@ -175,7 +183,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveResult(w http.ResponseWriter, j *Job) {
-	res, err := j.Result()
+	// The wire rendering only reads the result, so the shared pointer is
+	// fine — a defensive clone per poll would deep-copy the whole tree for
+	// nothing.
+	res, err := j.sharedResult()
 	switch {
 	case err != nil:
 		writeError(w, http.StatusConflict, "job %s %s: %v", j.ID(), j.State(), err)
@@ -183,6 +194,50 @@ func (s *Server) serveResult(w http.ResponseWriter, j *Job) {
 		writeError(w, http.StatusConflict, "job %s still %s", j.ID(), j.State())
 	default:
 		writeJSON(w, http.StatusOK, ResultToWire(res))
+	}
+}
+
+// serveArtifactList lists the job's persisted artifacts (result, log,
+// svg, job spec). On a service without a data dir the list is empty —
+// the endpoint still exists so clients need not probe for capability.
+func (s *Server) serveArtifactList(w http.ResponseWriter, j *Job) {
+	arts := s.svc.Artifacts(j.Key())
+	if arts == nil {
+		arts = []ArtifactInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"key":       j.Key(),
+		"durable":   s.svc.Durable(),
+		"artifacts": arts,
+	})
+}
+
+// artifactContentTypes maps artifact kinds to their media types.
+var artifactContentTypes = map[string]string{
+	artResult: "application/json",
+	artJob:    "application/json",
+	artLog:    "text/plain; charset=utf-8",
+	artSVG:    "image/svg+xml",
+}
+
+// serveArtifact streams one persisted artifact blob.
+func (s *Server) serveArtifact(w http.ResponseWriter, j *Job, name string) {
+	if !validArtifactName(name) {
+		writeError(w, http.StatusNotFound, "no artifact kind %q (valid: %s)",
+			name, strings.Join(ArtifactNames(), ", "))
+		return
+	}
+	data, err := s.svc.Artifact(j.Key(), name)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", artifactContentTypes[name])
+		_, _ = w.Write(data)
+	case errors.Is(err, errNoStore):
+		writeError(w, http.StatusNotFound, "service has no durable store (start with a data dir)")
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "job %s has no %q artifact", j.ID(), name)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 

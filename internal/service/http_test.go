@@ -370,3 +370,157 @@ func TestHTTPInvalidPlanRejected(t *testing.T) {
 		t.Errorf("error %q does not mention the bad spec", apiErr.Error)
 	}
 }
+
+// durableTestServer is testServer with a durable store attached.
+func durableTestServer(t *testing.T, workers int) (*httptest.Server, *Service, string) {
+	t.Helper()
+	dir := t.TempDir()
+	svc, err := Open(Config{Workers: workers, DataDir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.CancelAll()
+		svc.Close()
+	})
+	return ts, svc, dir
+}
+
+func TestHTTPArtifacts(t *testing.T) {
+	ts, _, _ := durableTestServer(t, 1)
+
+	req := SubmitRequest{
+		BenchText: benchText(t, "artifacty", 0),
+		Options:   OptionsWire{MaxRounds: 1, Cycles: 1, SkipStages: []string{"tbsz", "twsz", "twsn", "bwsn"}},
+	}
+	var jw JobWire
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", req), http.StatusAccepted, &jw)
+	done := pollDone(t, ts.URL, jw.ID)
+	if done.State != Done {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+
+	// List: result, log and the job spec are persisted by completion.
+	var list struct {
+		Key       string         `json:"key"`
+		Durable   bool           `json:"durable"`
+		Artifacts []ArtifactInfo `json:"artifacts"`
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusOK, &list)
+	if !list.Durable || list.Key != jw.Key {
+		t.Fatalf("bad artifact listing header: %+v", list)
+	}
+	have := map[string]int64{}
+	for _, a := range list.Artifacts {
+		have[a.Name] = a.Size
+	}
+	for _, name := range []string{"result", "log", "job"} {
+		if have[name] <= 0 {
+			t.Errorf("artifact %q missing or empty in %v", name, list.Artifacts)
+		}
+	}
+	if _, ok := have["svg"]; ok {
+		t.Error("svg artifact exists before any rendering")
+	}
+
+	// The result artifact is the persisted codec blob.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("result artifact: status %d type %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(blob), `"version":1`) {
+		t.Error("result artifact is not a codec envelope")
+	}
+
+	// The log artifact is plain text with the job's progress lines.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTxt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(logTxt), "artifacty") {
+		t.Errorf("log artifact: status %d body %.80s", resp.StatusCode, logTxt)
+	}
+
+	// Rendering the SVG persists it; the artifact then matches the route.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgRoute, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts/svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgArt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(svgRoute, svgArt) {
+		t.Error("persisted svg artifact does not match the rendered route")
+	}
+
+	// Unknown artifact names are 404 over HTTP…
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+}
+
+// TestArtifactNameValidation exercises the name check directly — an HTTP
+// request can't carry "../" (clients and ServeMux normalize dot segments
+// away), but the raw-path and library surfaces can.
+func TestArtifactNameValidation(t *testing.T) {
+	_, svc, _ := durableTestServer(t, 1)
+	key := strings.Repeat("ab", 32)
+	for _, name := range []string{"../x", "..", "result/../job", "passwd", "RESULT", ""} {
+		if _, err := svc.Artifact(key, name); err == nil {
+			t.Errorf("Artifact accepted invalid name %q", name)
+		}
+	}
+	// Valid names on a missing key are clean not-found errors.
+	if _, err := svc.Artifact(key, "result"); err == nil {
+		t.Error("missing artifact should error")
+	}
+}
+
+func TestHTTPArtifactsWithoutStore(t *testing.T) {
+	ts, _ := testServer(t, 1)
+	req := SubmitRequest{
+		BenchText: benchText(t, "nostore", 0),
+		Options:   OptionsWire{MaxRounds: 1, Cycles: 1, SkipStages: []string{"tbsz", "twsz", "twsn", "bwsn"}},
+	}
+	var jw JobWire
+	decode(t, postJSON(t, ts.URL+"/api/v1/jobs", req), http.StatusAccepted, &jw)
+	pollDone(t, ts.URL, jw.ID)
+
+	var list struct {
+		Durable   bool           `json:"durable"`
+		Artifacts []ArtifactInfo `json:"artifacts"`
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusOK, &list)
+	if list.Durable || len(list.Artifacts) != 0 {
+		t.Errorf("in-memory server lists artifacts: %+v", list)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + jw.ID + "/artifacts/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+}

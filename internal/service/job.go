@@ -44,22 +44,27 @@ type Job struct {
 	benchmark *bench.Benchmark
 	opts      core.Options
 	submitted time.Time
+	// durable marks jobs whose spec was persisted to the store: only their
+	// lifecycle transitions are journaled — a journal record without a
+	// spec could never be recovered and would nag every restart.
+	durable bool
 
 	svc  *Service
 	done chan struct{}
 
-	mu       sync.Mutex
-	state    State
-	started  time.Time
-	finished time.Time
-	cacheHit bool
-	result   *core.Result
-	err      error
-	logs     []string
-	dropped  int // log lines discarded from the front of the ring
-	subs     map[int]chan string
-	nextSub  int
-	cancel   context.CancelFunc
+	mu        sync.Mutex
+	state     State
+	started   time.Time
+	finished  time.Time
+	cacheHit  bool
+	cacheTier cacheTier // which tier served a cache hit ("" otherwise)
+	result    *core.Result
+	err       error
+	logs      []string
+	dropped   int // log lines discarded from the front of the ring
+	subs      map[int]chan string
+	nextSub   int
+	cancel    context.CancelFunc
 
 	// Rendering a finished tree re-runs the multi-corner simulation, so
 	// the SVG is produced once per job and the bytes reused.
@@ -96,14 +101,32 @@ func (j *Job) CacheHit() bool {
 	return j.cacheHit
 }
 
+// CacheTier returns which cache tier served the job ("memory" or "disk"),
+// or "" for jobs that actually ran.
+func (j *Job) CacheTier() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return string(j.cacheTier)
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Result returns the synthesis result once the job is Done. Before
 // completion it returns (nil, nil); after a failure or cancellation it
-// returns (nil, err). The returned Result is shared (possibly cached):
-// treat it as read-only.
+// returns (nil, err). The returned Result is the caller's own defensive
+// deep copy: mutating it (rescaling the tree, truncating stages, …)
+// cannot corrupt the cached entry that coalesced submitters and future
+// resubmissions are served from.
 func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result.Clone(), j.err
+}
+
+// sharedResult returns the job's internal (cached, shared) result for
+// read-only service-internal paths that should not pay for a deep copy.
+func (j *Job) sharedResult() (*core.Result, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.err
@@ -221,10 +244,12 @@ func (j *Job) finishLocked(st State, res *core.Result, err error) {
 
 // SVG renders the finished job's clock tree with slack coloring. The
 // rendering (which re-simulates the tree at every corner) runs at most
-// once; subsequent calls return the cached bytes. It fails if the job has
-// not completed successfully.
+// once per process; on a durable service the bytes persist as the job's
+// "svg" artifact, so later processes (and recovered jobs) serve the
+// stored rendering instead of re-simulating. It fails if the job has not
+// completed successfully.
 func (j *Job) SVG() ([]byte, error) {
-	res, err := j.Result()
+	res, err := j.sharedResult() // rendering only reads the tree
 	if err != nil {
 		return nil, err
 	}
@@ -232,12 +257,17 @@ func (j *Job) SVG() ([]byte, error) {
 		return nil, fmt.Errorf("service: job %s is %s; no tree to render", j.id, j.State())
 	}
 	j.svgOnce.Do(func() {
+		if data := j.svc.getArtifact(j.key, artSVG); data != nil {
+			j.svgData = data
+			return
+		}
 		var buf bytes.Buffer
 		if err := core.RenderSVG(&buf, res); err != nil {
 			j.svgErr = err
 			return
 		}
 		j.svgData = buf.Bytes()
+		j.svc.putArtifact(j.key, artSVG, j.svgData)
 	})
 	return j.svgData, j.svgErr
 }

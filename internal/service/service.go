@@ -1,17 +1,23 @@
 // Package service turns the single-run Contango synthesizer into a
 // concurrent batch service: a job manager with a fixed worker pool runs
-// core.Synthesize jobs in parallel, a content-addressed LRU result cache
-// dedupes repeated submissions (hash of benchmark bytes + canonicalized
-// options), identical in-flight submissions coalesce onto one run, and
-// every job streams its progress log to subscribers. The HTTP front end in
-// this package (Server) exposes the same operations as the contangod JSON
-// API; contango.go re-exports the library surface.
+// core.Synthesize jobs in parallel, a two-tier content-addressed result
+// cache (memory LRU in front of an optional on-disk store) dedupes
+// repeated submissions (hash of benchmark bytes + canonicalized options),
+// identical in-flight submissions coalesce onto one run, and every job
+// streams its progress log to subscribers. With Config.DataDir set the
+// service is durable: finished results, progress logs and rendered SVGs
+// persist as content-addressed artifacts, an append-only journal tracks
+// job lifecycles, and Open replays it so a restart re-queues unfinished
+// jobs and serves finished ones as disk-backed cache hits. The HTTP front
+// end in this package (Server) exposes the same operations as the
+// contangod JSON API; contango.go re-exports the library surface.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -19,14 +25,15 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/flow"
+	"contango/internal/store"
 )
 
 // Config tunes a Service.
 type Config struct {
 	// Workers is the worker-pool size (default: min(GOMAXPROCS, 4)).
 	Workers int
-	// CacheEntries bounds the result cache (default 256; negative disables
-	// caching entirely).
+	// CacheEntries bounds the in-memory tier of the result cache (default
+	// 256; negative disables caching entirely, including the disk tier).
 	CacheEntries int
 	// QueueDepth bounds the number of jobs waiting for a worker (default
 	// 4096). Submissions beyond it fail fast with ErrQueueFull.
@@ -42,8 +49,19 @@ type Config struct {
 	// JobParallelism it shapes results, so it is applied before the job's
 	// content key is computed.
 	DefaultPlan string
+	// DataDir, when non-empty, roots the durable storage layer: a
+	// content-addressed artifact store (finished results, job logs, SVGs,
+	// job specs) plus the job journal. Empty keeps the service purely
+	// in-memory — bit-for-bit today's behavior. Use Open (not New) to
+	// surface store-initialization errors.
+	DataDir string
+	// NoFsync skips fsync on store and journal writes. Durability across
+	// power loss is lost; crash-consistency of the on-disk layout is kept.
+	// Meant for tests and throwaway runs.
+	NoFsync bool
 	// Log, when non-nil, receives service lifecycle lines (job started,
-	// finished, cache hits). Per-job progress goes to the job's own log.
+	// finished, cache hits, recovery). Per-job progress goes to the job's
+	// own log.
 	Log func(format string, args ...interface{})
 }
 
@@ -83,30 +101,39 @@ type Request struct {
 
 // Stats is a snapshot of service counters.
 type Stats struct {
-	Workers      int `json:"workers"`
-	QueueLen     int `json:"queue_len"`
-	Jobs         int `json:"jobs"`
-	Submitted    int `json:"submitted"`
-	Coalesced    int `json:"coalesced"`  // submissions joined to an in-flight identical job
-	CacheHits    int `json:"cache_hits"` // submissions served from the result cache
-	CacheEntries int `json:"cache_entries"`
-	Completed    int `json:"completed"`
-	Failed       int `json:"failed"`
-	Canceled     int `json:"canceled"`
-	SimRuns      int `json:"sim_runs"` // accurate-simulator invocations across executed jobs
+	Workers        int `json:"workers"`
+	QueueLen       int `json:"queue_len"`
+	Jobs           int `json:"jobs"`
+	Submitted      int `json:"submitted"`
+	Coalesced      int `json:"coalesced"`       // submissions joined to an in-flight identical job
+	CacheHits      int `json:"cache_hits"`      // submissions served from the result cache (either tier)
+	CacheMisses    int `json:"cache_misses"`    // submissions served by neither cache tier
+	CacheEvictions int `json:"cache_evictions"` // memory-tier demotions (entries persist on disk when DataDir is set)
+	DiskHits       int `json:"disk_hits"`       // cache hits served by the disk tier (subset of cache_hits)
+	RecoveredJobs  int `json:"recovered_jobs"`  // unfinished jobs re-queued from the journal at startup
+	CacheEntries   int `json:"cache_entries"`
+	Completed      int `json:"completed"`
+	Failed         int `json:"failed"`
+	Canceled       int `json:"canceled"`
+	SimRuns        int `json:"sim_runs"` // accurate-simulator invocations across executed jobs
 }
 
 // Service runs synthesis jobs on a worker pool with content-addressed
-// result caching and in-flight deduplication. Create one with New and
-// release it with Close.
+// result caching and in-flight deduplication. Create one with Open (or
+// New for in-memory configurations) and release it with Close or, for a
+// graceful stop that preserves in-flight work in the journal, Shutdown.
 type Service struct {
-	cfg   Config
-	queue chan *Job
-	cache *resultCache // nil when caching is disabled
-	wg    sync.WaitGroup
+	cfg       Config
+	queue     chan *Job
+	cache     *resultCache   // nil when caching is disabled
+	st        *store.Store   // nil without DataDir
+	jnl       *store.Journal // nil without DataDir
+	wg        sync.WaitGroup
+	queueOnce sync.Once // guards close(s.queue) across Close/Shutdown
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool // Shutdown in progress: cancellations journal as pending
 	seq      int
 	jobs     map[string]*Job // by ID
 	order    []*Job          // submission order
@@ -114,8 +141,13 @@ type Service struct {
 	stats    Stats
 }
 
-// New starts a Service with cfg's worker pool.
-func New(cfg Config) *Service {
+// Open starts a Service. With cfg.DataDir set it opens the durable store
+// and journal, starts the worker pool, and then replays the journal:
+// submitted-but-unfinished jobs are re-queued (Stats.RecoveredJobs) while
+// finished ones wait on disk as warm cache hits. Initialization errors
+// (unwritable data dir, …) are returned rather than degrading silently to
+// an in-memory service.
+func Open(cfg Config) (*Service, error) {
 	cfg.fill()
 	s := &Service{
 		cfg:      cfg,
@@ -123,12 +155,38 @@ func New(cfg Config) *Service {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	var recovered []store.Record
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, !cfg.NoFsync)
+		if err != nil {
+			return nil, err
+		}
+		jnl, recs, err := store.OpenJournal(filepath.Join(cfg.DataDir, "journal.log"), !cfg.NoFsync)
+		if err != nil {
+			return nil, err
+		}
+		s.st, s.jnl = st, jnl
+		recovered = recs
+	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newResultCache(cfg.CacheEntries)
+		s.cache = newResultCache(cfg.CacheEntries, s.st)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	s.recoverJournal(recovered)
+	return s, nil
+}
+
+// New starts a Service with cfg's worker pool. It is Open for in-memory
+// configurations; with cfg.DataDir set it panics if the durable layer
+// cannot be initialized — callers enabling persistence should use Open
+// and handle the error.
+func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service.New: %v (use Open to handle store errors)", err))
 	}
 	return s
 }
@@ -142,11 +200,12 @@ func (s *Service) logf(format string, args ...interface{}) {
 // Submit enqueues one synthesis run and returns its Job immediately.
 // Submissions dedupe by content: if the identical run (same benchmark
 // bytes, same canonicalized options) is already queued or running, the
-// existing Job is returned; if its result is cached, a Job completed as a
-// cache hit is returned without touching the worker pool. Opts.Engine
-// should normally be left nil so every executed job gets its own simulator
-// instance; a caller-shared Engine is used as-is and is not safe across
-// concurrent jobs.
+// existing Job is returned; if its result is cached — in memory or, on a
+// durable service, persisted on disk by an earlier process — a Job
+// completed as a cache hit is returned without touching the worker pool.
+// Opts.Engine should normally be left nil so every executed job gets its
+// own simulator instance; a caller-shared Engine is used as-is and is not
+// safe across concurrent jobs.
 func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	if b == nil || len(b.Sinks) == 0 {
 		return nil, ErrNoBench
@@ -176,6 +235,123 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		return live, nil
 	}
 
+	// Memory-tier cache check stays under the lock (one mutex hop) so it is
+	// atomic with the in-flight map.
+	if s.cache != nil {
+		if res, ok := s.cache.getMemory(key); ok {
+			j := s.finishCacheHitLocked(b, o, key, res, tierMemory)
+			s.mu.Unlock()
+			s.logCacheHit(j)
+			return j, nil
+		}
+	}
+	s.mu.Unlock()
+
+	// Disk-tier lookup and spec persistence do file IO (read + decode a
+	// whole tree, fsynced writes): keep them off s.mu so one slow disk op
+	// never stalls concurrent submissions, stats or cancellations. Racing
+	// identical submissions are harmless — both may probe the disk and
+	// persist the same idempotent spec, and the re-taken lock below
+	// re-checks the in-flight map before queueing.
+	var diskRes *core.Result
+	if s.cache != nil {
+		diskRes, _ = s.cache.getDisk(key)
+	}
+	durable := false
+	if diskRes == nil {
+		durable = s.persistSubmit(b, o, key)
+		if durable {
+			// "submitted" is journaled before the job can reach any worker
+			// or canceler, so no terminal record for this submission can
+			// ever precede it — last-record-wins compaction stays sound.
+			// The rejection paths below compensate with a terminal record
+			// if the job never actually queues.
+			s.journal("submitted", key)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.stats.Submitted--
+		s.mu.Unlock()
+		if durable {
+			s.journal("canceled", key)
+		}
+		return nil, ErrClosed
+	}
+	if live, ok := s.inflight[key]; ok {
+		// Same key: the live job's own lifecycle records resolve the
+		// "submitted" we may just have appended.
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		return live, nil
+	}
+	// On a disk miss, re-check the memory tier: an in-flight identical job
+	// seen by the first lock may have finished (cache.Add, then in-flight
+	// removal) while we probed the disk — without this, that window would
+	// queue a duplicate synthesis of a result that is already cached. (On
+	// a disk hit the re-check must not run: getDisk already promoted the
+	// result into memory, and the submission was genuinely disk-served.)
+	if diskRes == nil && s.cache != nil {
+		if res, ok := s.cache.getMemory(key); ok {
+			j := s.finishCacheHitLocked(b, o, key, res, tierMemory)
+			s.mu.Unlock()
+			s.logCacheHit(j)
+			if durable {
+				// The racing job's write-through persisted the result; mark
+				// our just-journaled "submitted" resolved.
+				s.journal("finished", key)
+			}
+			return j, nil
+		}
+	}
+	if diskRes != nil {
+		// A result some earlier process computed and persisted.
+		j := s.finishCacheHitLocked(b, o, key, diskRes, tierDisk)
+		s.mu.Unlock()
+		s.logCacheHit(j)
+		// Converge the journal: if a crash lost the original "finished"
+		// record (or recovery just resubmitted this key), the disk hit
+		// proves the work is done — journal it so the next open does not
+		// re-recover a completed job.
+		s.journal("finished", key)
+		return j, nil
+	}
+
+	j := &Job{
+		id:        fmt.Sprintf("job-%04d", s.seq+1),
+		key:       key,
+		benchmark: b,
+		opts:      o,
+		submitted: time.Now(),
+		durable:   durable,
+		svc:       s,
+		state:     Queued,
+		done:      make(chan struct{}),
+	}
+	s.seq++
+	select {
+	case s.queue <- j:
+	default:
+		s.stats.Submitted--
+		s.mu.Unlock()
+		if durable {
+			s.journal("canceled", key)
+		}
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.inflight[key] = j
+	s.mu.Unlock()
+	s.logf("job %s: queued %s (%d sinks)", j.id, b.Name, len(b.Sinks))
+	return j, nil
+}
+
+// finishCacheHitLocked registers a submission served from the result cache
+// as an instantly completed job. Called with s.mu held; the caller logs
+// (logCacheHit) after releasing the lock.
+func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key string, res *core.Result, tier cacheTier) *Job {
 	j := &Job{
 		id:        fmt.Sprintf("job-%04d", s.seq+1),
 		key:       key,
@@ -187,39 +363,25 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		done:      make(chan struct{}),
 	}
 	s.seq++
-
-	// Result cache: complete instantly, off-pool.
-	if s.cache != nil {
-		if res, ok := s.cache.Get(key); ok {
-			s.stats.CacheHits++
-			s.stats.Completed++
-			j.cacheHit = true
-			j.started = j.submitted
-			j.mu.Lock()
-			j.finishLocked(Done, res, nil)
-			j.mu.Unlock()
-			s.jobs[j.id] = j
-			s.order = append(s.order, j)
-			s.mu.Unlock()
-			j.appendLog(fmt.Sprintf("%s: served from result cache", b.Name))
-			s.logf("job %s: cache hit for %s", j.id, b.Name)
-			return j, nil
-		}
+	s.stats.CacheHits++
+	if tier == tierDisk {
+		s.stats.DiskHits++
 	}
-
-	select {
-	case s.queue <- j:
-	default:
-		s.stats.Submitted--
-		s.mu.Unlock()
-		return nil, ErrQueueFull
-	}
+	s.stats.Completed++
+	j.cacheHit = true
+	j.cacheTier = tier
+	j.started = j.submitted
+	j.mu.Lock()
+	j.finishLocked(Done, res, nil)
+	j.mu.Unlock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
-	s.inflight[key] = j
-	s.mu.Unlock()
-	s.logf("job %s: queued %s (%d sinks)", j.id, b.Name, len(b.Sinks))
-	return j, nil
+	return j
+}
+
+func (s *Service) logCacheHit(j *Job) {
+	j.appendLog(fmt.Sprintf("%s: served from result cache (%s)", j.benchmark.Name, j.cacheTier))
+	s.logf("job %s: %s cache hit for %s", j.id, j.cacheTier, j.benchmark.Name)
 }
 
 // SubmitBatch submits every request, returning one Job per request in
@@ -248,6 +410,7 @@ func benchName(b *bench.Benchmark) string {
 // WaitAll waits for every job (duplicates allowed) and returns their
 // results in order. The first failure or cancellation aborts the wait and
 // is returned; canceling ctx abandons the wait without canceling the jobs.
+// Each returned Result is the waiter's own defensive copy.
 func WaitAll(ctx context.Context, jobs []*Job) ([]*core.Result, error) {
 	out := make([]*core.Result, len(jobs))
 	for i, j := range jobs {
@@ -287,24 +450,71 @@ func (s *Service) Stats() Stats {
 	st.Jobs = len(s.jobs)
 	if s.cache != nil {
 		st.CacheEntries = s.cache.Len()
+		st.CacheMisses, st.CacheEvictions = s.cache.Counters()
 	}
 	return st
 }
 
 // Close stops accepting submissions, drains the queue (already-queued jobs
-// still run) and waits for the workers to exit. Use CancelAll first for a
-// fast shutdown.
+// still run) and waits for the workers to exit. Use Shutdown for a
+// deadline-bounded stop that journals unfinished work, or CancelAll first
+// for a fast abandon.
 func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.queueOnce.Do(func() { close(s.queue) })
+	s.wg.Wait()
+	s.closeJournal()
+}
+
+// Shutdown stops the service gracefully: intake stops immediately, then
+// in-flight jobs get until ctx is done to finish on their own. Jobs still
+// unfinished at the deadline are canceled and — on a durable service —
+// journaled as pending, so the next Open re-queues exactly the work this
+// process did not complete. Finished jobs are already persisted and
+// journaled by the time their waiters observe completion, so a restart
+// serves them as disk-backed cache hits.
+func (s *Service) Shutdown(ctx context.Context) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.queueOnce.Do(func() { close(s.queue) })
 		s.wg.Wait()
+		s.closeJournal()
 		return
 	}
 	s.closed = true
-	close(s.queue)
 	s.mu.Unlock()
+
+	// Grace period: wait for in-flight and queued jobs to drain naturally.
+	for _, j := range s.Jobs() {
+		select {
+		case <-j.Done():
+			continue
+		case <-ctx.Done():
+		}
+		break
+	}
+	if ctx.Err() != nil {
+		// Out of patience: unfinished work is journaled as pending (via the
+		// draining flag) and canceled.
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.CancelAll()
+	}
+	s.queueOnce.Do(func() { close(s.queue) })
 	s.wg.Wait()
+	s.closeJournal()
+}
+
+func (s *Service) closeJournal() {
+	if s.jnl != nil {
+		if err := s.jnl.Close(); err != nil {
+			s.logf("journal close: %v", err)
+		}
+	}
 }
 
 // CancelAll cancels every queued or running job.
@@ -339,6 +549,9 @@ func (s *Service) run(j *Job) {
 	}
 	j.mu.Unlock()
 	defer cancel()
+	if j.durable {
+		s.journal("started", j.key)
+	}
 	s.logf("job %s: running %s", j.id, j.benchmark.Name)
 
 	// Fan the flow's progress lines into the job's own log (and through to
@@ -362,9 +575,19 @@ func (s *Service) run(j *Job) {
 	default:
 		st, res = Failed, nil
 	}
-	// Publish to the service (stats, in-flight removal, cache insertion)
-	// before the done channel closes, so a waiter resubmitting the moment
-	// Wait returns is guaranteed to hit the cache.
+	// Persist and publish to the service (cache insertion + write-through,
+	// artifacts, journal, stats, in-flight removal) before the done channel
+	// closes, so a waiter resubmitting the moment Wait returns is
+	// guaranteed to hit the cache — and, on a durable service, a process
+	// restarted after Wait returned is guaranteed a disk hit.
+	if st == Done && res != nil {
+		if s.cache != nil {
+			if derr := s.cache.Add(j.key, res); derr != nil {
+				s.logf("job %s: result not persisted: %v", j.id, derr)
+			}
+		}
+		s.persistJobLog(j)
+	}
 	s.jobFinished(j, st, res)
 	j.mu.Lock()
 	j.finishLocked(st, res, err)
@@ -377,10 +600,15 @@ func (s *Service) run(j *Job) {
 }
 
 // jobFinished updates service-level state after a job reached a terminal
-// state (from a worker, or from Cancel on a queued job).
+// state (from a worker, or from Cancel on a queued job) and — for durable
+// jobs, the only ones with a journaled "submitted" to resolve — journals
+// the transition. The journal append (an fsync) runs after s.mu is
+// released so disk latency never serializes the whole service; per-key
+// ordering is preserved because a job's transitions come from one
+// goroutine.
 func (s *Service) jobFinished(j *Job, st State, res *core.Result) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	kind := ""
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
@@ -389,13 +617,22 @@ func (s *Service) jobFinished(j *Job, st State, res *core.Result) {
 		s.stats.Completed++
 		if res != nil {
 			s.stats.SimRuns += res.Runs
-			if s.cache != nil {
-				s.cache.Add(j.key, res)
-			}
 		}
+		kind = "finished"
 	case Failed:
 		s.stats.Failed++
+		kind = "failed"
 	case Canceled:
 		s.stats.Canceled++
+		if s.draining {
+			// Shutdown interrupted this job; the next Open re-queues it.
+			kind = "pending"
+		} else {
+			kind = "canceled"
+		}
+	}
+	s.mu.Unlock()
+	if j.durable && kind != "" {
+		s.journal(kind, j.key)
 	}
 }

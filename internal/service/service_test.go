@@ -91,8 +91,14 @@ func TestSubmitWaitAndCacheHit(t *testing.T) {
 	if !j2.CacheHit() {
 		t.Error("identical resubmission should be served from cache")
 	}
-	if res2 != res1 {
-		t.Error("cache should return the shared result")
+	if j2.CacheTier() != "memory" {
+		t.Errorf("CacheTier = %q, want memory", j2.CacheTier())
+	}
+	if res2 == res1 {
+		t.Error("cache hits must hand out defensive copies, not the shared result")
+	}
+	if res2.Final != res1.Final || res2.Runs != res1.Runs {
+		t.Error("cache hit content differs from the original result")
 	}
 	st := svc.Stats()
 	if st.SimRuns != runsAfterFirst {
@@ -218,7 +224,7 @@ func TestBatchResubmissionServedFromCache(t *testing.T) {
 		if j.CacheHit() {
 			hits++
 		}
-		if second[i] != first[i] {
+		if second[i].Final != first[i].Final || second[i].Runs != first[i].Runs {
 			t.Errorf("job %d: resubmission returned a different result", i)
 		}
 	}
@@ -402,25 +408,37 @@ func TestJobKeyCanonicalization(t *testing.T) {
 }
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	r1, r2, r3 := &core.Result{}, &core.Result{}, &core.Result{}
-	c.Add("a", r1)
-	c.Add("b", r2)
-	if _, ok := c.Get("a"); !ok { // refresh a; b is now LRU
+	mustAdd := func(k string, r *core.Result) {
+		if err := c.Add(k, r); err != nil {
+			t.Fatalf("Add(%s): %v", k, err)
+		}
+	}
+	mustAdd("a", r1)
+	mustAdd("b", r2)
+	if _, tier, ok := c.Get("a"); !ok || tier != tierMemory { // refresh a; b is now LRU
 		t.Fatal("a missing")
 	}
-	c.Add("c", r3)
-	if _, ok := c.Get("b"); ok {
+	mustAdd("c", r3)
+	if _, _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if got, ok := c.Get("a"); !ok || got != r1 {
+	if got, _, ok := c.Get("a"); !ok || got != r1 {
 		t.Error("a should survive eviction")
 	}
-	if got, ok := c.Get("c"); !ok || got != r3 {
+	if got, _, ok := c.Get("c"); !ok || got != r3 {
 		t.Error("c should be cached")
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	misses, evictions := c.Counters()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if misses != 1 { // the Get("b") after eviction
+		t.Errorf("misses = %d, want 1", misses)
 	}
 }
 

@@ -94,6 +94,7 @@ type JobWire struct {
 	Benchmark  string      `json:"benchmark"`
 	Sinks      int         `json:"sinks"`
 	CacheHit   bool        `json:"cache_hit"`
+	CacheTier  string      `json:"cache_tier,omitempty"` // "memory" or "disk" on cache hits
 	Submitted  time.Time   `json:"submitted"`
 	Started    *time.Time  `json:"started,omitempty"`
 	Finished   *time.Time  `json:"finished,omitempty"`
@@ -115,6 +116,7 @@ func (j *Job) Wire() *JobWire {
 		Benchmark:  j.benchmark.Name,
 		Sinks:      len(j.benchmark.Sinks),
 		CacheHit:   j.cacheHit,
+		CacheTier:  string(j.cacheTier),
 		Submitted:  j.submitted,
 		Result:     ResultToWire(j.result),
 		LogLines:   len(j.logs),
