@@ -7,6 +7,7 @@ package contango
 
 import (
 	"io"
+	"reflect"
 	"testing"
 
 	"contango/internal/analysis"
@@ -260,7 +261,7 @@ func BenchmarkTransientEvaluate(b *testing.B) {
 	eng := spice.New()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Evaluate(res.Tree, res.Tree.Tech.Corners[0]); err != nil {
+		if _, err := eng.Evaluate(res.Tree, res.Tree.Tech.Reference()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -275,7 +276,7 @@ func BenchmarkElmoreEvaluate(b *testing.B) {
 	e := &analysis.Elmore{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Evaluate(res.Tree, res.Tree.Tech.Corners[0]); err != nil {
+		if _, err := e.Evaluate(res.Tree, res.Tree.Tech.Reference()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -366,6 +367,50 @@ func BenchmarkPlanMatrix(b *testing.B) {
 							b.Fatal("wire-only plan ran TBSZ")
 						}
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCornerMatrix smokes the corner-set engine end to end on one
+// trimmed contest benchmark: the five-corner pvt5 grid and a deterministic
+// eight-sample Monte Carlo set. Each iteration synthesizes the same input
+// twice under the same spec and fails on any metric divergence, so the CI
+// bench gate (benchci -require) pins both "the corner sets still
+// synthesize" and "mc metrics are seed-stable" — a variation run that
+// stopped being reproducible fails the row instead of silently drifting.
+func BenchmarkCornerMatrix(b *testing.B) {
+	bm := trimmed("ispd09f22", 40)
+	for _, spec := range []string{"pvt5", "mc:8:1"} {
+		wantCorners := 5
+		if spec != "pvt5" {
+			wantCorners = 8
+		}
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{Corners: spec, MaxRounds: 2, Cycles: -1}
+				r1, err := core.Synthesize(bm.Clone(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r2, err := core.Synthesize(bm.Clone(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(r1.Final, r2.Final) {
+					b.Fatalf("corner set %s not deterministic:\n%+v\n%+v", spec, r1.Final, r2.Final)
+				}
+				if len(r1.Final.PerCorner) != wantCorners {
+					b.Fatalf("corner set %s: %d per-corner rows, want %d", spec, len(r1.Final.PerCorner), wantCorners)
+				}
+				// Yield may legitimately be zero here (the trimmed cap
+				// budget is violated on this instance, which gates every
+				// sample); the quantiles still must be populated and
+				// ordered.
+				if f := r1.Final; spec != "pvt5" &&
+					(f.LatP50 <= 0 || f.LatP95 < f.LatP50 || f.Yield < 0 || f.Yield > 1) {
+					b.Fatalf("mc yield stats wrong: %+v", f)
 				}
 			}
 		})

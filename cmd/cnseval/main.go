@@ -50,7 +50,7 @@ func main() {
 
 	if *models {
 		tr := res.Tree
-		corner := tr.Tech.Corners[0]
+		corner := tr.Tech.Reference()
 		evals := []analysis.Evaluator{&analysis.Elmore{}, &analysis.TwoPole{}, spice.New()}
 		var rows [][]string
 		sinks := tr.Sinks()

@@ -16,6 +16,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/corners"
 	"contango/internal/flow"
 	"contango/internal/service"
 	"contango/internal/store"
@@ -33,6 +34,8 @@ func main() {
 	plan := flag.String("plan", "", "synthesis plan: a built-in name ("+strings.Join(flow.PlanNames(), ", ")+
 		") or a plan-spec string like 'tbsz:2,cycle(twsz,twsn)x2'")
 	listPlans := flag.Bool("plans", false, "list the built-in synthesis plans and exit")
+	cornerSpec := flag.String("corners", "", "PVT corner set: "+strings.Join(corners.Names(), ", ")+
+		", or 'mc:<n>:<seed>[:vsigma[:rsigma[:csigma]]]' for Monte Carlo variation samples")
 	cacheDir := flag.String("cache-dir", "", "durable result store to reuse prior results from and persist this run's result to (shareable with contangod -data-dir)")
 	flag.Parse()
 
@@ -47,13 +50,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := corners.Validate(*cornerSpec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	b, err := loadBench(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval, Plan: *plan}
+	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval,
+		Plan: *plan, Corners: *cornerSpec}
 	if *verbose {
 		opt.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
@@ -115,6 +123,19 @@ func main() {
 		fmt.Printf("polarity: %d inverted sinks -> %d added inverters\n", res.InvertedSinks, res.AddedInverters)
 		for _, s := range res.Stages {
 			fmt.Printf("%-8s %s\n", s.Name, s.Metrics)
+		}
+		// Per-corner breakdown for non-default corner sets; the contest
+		// pair keeps the compact single-line report above.
+		if fm := res.Final; len(fm.PerCorner) > 2 {
+			fmt.Printf("corner spread: clr-spread=%.2fps worst-corner=%s\n", fm.CLRSpread, fm.WorstCorner)
+			for _, c := range fm.PerCorner {
+				fmt.Printf("  %-16s vdd=%.3fV lat=[%.1f..%.1f]ps skew=%.3fps slew=%.1fps viol=%d\n",
+					c.Name, c.Vdd, c.MinLat, c.MaxLat, c.Skew, c.MaxSlew, c.SlewViol)
+			}
+			if fm.MCSamples > 0 {
+				fmt.Printf("variation: %d samples, yield=%.1f%% lat-p50=%.1fps lat-p95=%.1fps\n",
+					fm.MCSamples, 100*fm.Yield, fm.LatP50, fm.LatP95)
+			}
 		}
 	}
 	if *svg != "" {

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"contango/internal/corners"
 	"contango/internal/flow"
 	"contango/internal/service"
 )
@@ -40,6 +41,7 @@ func main() {
 	queue := flag.Int("queue", 4096, "max queued jobs")
 	parallel := flag.Int("parallel", 0, "per-job stage-simulation workers for jobs that don't set one (0 = GOMAXPROCS/workers)")
 	plan := flag.String("plan", "", "default synthesis plan for jobs that don't set one (built-in name or plan spec; empty = paper)")
+	cornerSpec := flag.String("corners", "", "default PVT corner set for jobs that don't set one (ispd09, pvt5, or mc:<n>:<seed>[:sigmas]; empty = ispd09)")
 	dataDir := flag.String("data-dir", "", "durable storage directory: persists results/logs/SVGs and recovers unfinished jobs across restarts (empty = in-memory only)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period for in-flight jobs")
 	verbose := flag.Bool("v", false, "log job lifecycle to stderr")
@@ -49,8 +51,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := corners.Validate(*cornerSpec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue,
-		JobParallelism: *parallel, DefaultPlan: *plan, DataDir: *dataDir}
+		JobParallelism: *parallel, DefaultPlan: *plan, DefaultCorners: *cornerSpec, DataDir: *dataDir}
 	logf := func(f string, a ...interface{}) {
 		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+f+"\n", a...)
 	}

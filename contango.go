@@ -49,6 +49,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/corners"
 	"contango/internal/eval"
 	"contango/internal/flow"
 	"contango/internal/service"
@@ -61,7 +62,10 @@ import (
 // over all CPUs (Options.Parallelism; Options.FullEval restores the
 // whole-tree reference path, identical results, much slower). Options.Plan
 // selects the synthesis pipeline: a built-in plan name (PlanNames) or a
-// plan-spec string (ValidatePlan documents the grammar).
+// plan-spec string (ValidatePlan documents the grammar). Options.Corners
+// selects the PVT corner set (CornerSetNames / ValidateCorners): the
+// default "ispd09" pair, the "pvt5" envelope, or "mc:<n>:<seed>" Monte
+// Carlo variation samples with yield/quantile reporting.
 type Options = core.Options
 
 // StageRecord is one per-stage metric record (a Table III row).
@@ -108,6 +112,19 @@ func ValidatePlan(nameOrSpec string) error {
 	_, err := flow.ResolvePlan(nameOrSpec)
 	return err
 }
+
+// CornerSetNames lists the built-in PVT corner sets: "ispd09" (the default
+// — the technology's native fast/slow pair, bit-identical to the
+// pre-corner-set engine) and "pvt5" (a five-corner PVT envelope). Monte
+// Carlo sets are spelled as specs: "mc:<n>:<seed>[:vsigma[:rsigma[:csigma]]]"
+// draws n deterministic variation samples of (Vdd, R, C).
+func CornerSetNames() []string { return corners.Names() }
+
+// ValidateCorners checks a corner-set spec without running it. The empty
+// spec is valid and means the default set. Options.Corners selects the
+// set for a run; identical specs content-address identically, so Monte
+// Carlo runs are reproducible and cacheable.
+func ValidateCorners(spec string) error { return corners.Validate(spec) }
 
 // SynthesizeContext runs the full flow honoring ctx: cancellation is
 // checked between stages and before every optimization round, so a killed

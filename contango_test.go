@@ -3,6 +3,7 @@ package contango
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -165,7 +166,7 @@ func TestDurablePublicSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Final != res.Final || back.Runs != res.Runs {
+	if !reflect.DeepEqual(back.Final, res.Final) || back.Runs != res.Runs {
 		t.Error("public codec round-trip drifted")
 	}
 

@@ -9,7 +9,7 @@ import (
 	"contango/internal/tech"
 )
 
-func fastCorner(t *tech.Tech) tech.Corner { return t.Corners[0] }
+func fastCorner(t *tech.Tech) tech.Corner { return t.Reference() }
 
 // singleWire builds source -> 1000 µm wire -> sink(35 fF).
 func singleWire(tk *tech.Tech) *ctree.Tree {
@@ -138,8 +138,8 @@ func TestSlowCornerSlower(t *testing.T) {
 	b := tr.InsertOnEdge(s, 1000, ctree.Buffer)
 	comp := tech.Composite{Type: tk.Inverters[1], N: 8}
 	b.Buf = &comp
-	fast, _ := (&Elmore{}).Evaluate(tr, tk.Corners[0])
-	slow, _ := (&Elmore{}).Evaluate(tr, tk.Corners[1])
+	fast, _ := (&Elmore{}).Evaluate(tr, tk.Reference())
+	slow, _ := (&Elmore{}).Evaluate(tr, tk.Worst())
 	if slow.Rise[s.ID] <= fast.Rise[s.ID] {
 		t.Errorf("1.0V (%v) should be slower than 1.2V (%v)", slow.Rise[s.ID], fast.Rise[s.ID])
 	}

@@ -23,20 +23,35 @@ type Elmore struct {
 // Name implements Evaluator.
 func (e *Elmore) Name() string { return "elmore" }
 
-// StageDelays returns, for one stage, the Elmore delay (ps) from the stage
-// driver input to every RC node. The driver contributes rd·Ctotal.
-func stageElmore(s *Stage, rd float64) []float64 {
+// stageElmoreScaled returns, for one stage, the Elmore delay (ps) from the
+// stage driver input to every RC node, with wire resistance scaled by rs
+// and capacitance by cs. The driver contributes rd·Ctotal. Unit scales are
+// exact in IEEE 754 (x·1.0 == x bitwise), so the rs = cs = 1 call is
+// bit-identical to the pre-derate recurrence.
+func stageElmoreScaled(s *Stage, rd, rs, cs float64) []float64 {
 	n := len(s.R)
-	cdown := append([]float64(nil), s.C...)
+	cdown := make([]float64, n)
+	for i := range cdown {
+		cdown[i] = s.C[i] * cs
+	}
 	for i := n - 1; i >= 1; i-- {
 		cdown[s.Par[i]] += cdown[i]
 	}
 	d := make([]float64, n)
 	d[0] = rd * cdown[0]
 	for i := 1; i < n; i++ {
-		d[i] = d[s.Par[i]] + s.R[i]*cdown[i]
+		d[i] = d[s.Par[i]] + s.R[i]*rs*cdown[i]
 	}
 	return d
+}
+
+// stageElmore is the underated form.
+func stageElmore(s *Stage, rd float64) []float64 { return stageElmoreScaled(s, rd, 1, 1) }
+
+// stageElmoreAt is stageElmore with the corner's interconnect derates
+// applied.
+func stageElmoreAt(s *Stage, rd float64, corner tech.Corner) []float64 {
+	return stageElmoreScaled(s, rd, corner.RScale(), corner.CScale())
 }
 
 // Evaluate implements Evaluator using per-stage Elmore delays chained
@@ -59,7 +74,7 @@ func elmoreOnNet(net *Net, corner tech.Corner) *Result {
 	arrival := make([]float64, len(net.Stages)) // at each stage's driver input
 	for _, s := range net.Stages {
 		rd := net.DriverR(s, corner)
-		d := stageElmore(s, rd)
+		d := stageElmoreAt(s, rd, corner)
 		base := arrival[s.Index]
 		// Propagate arrivals to child stages through their input nodes.
 		for _, ci := range s.Children {
@@ -99,6 +114,12 @@ func elmoreOnNet(net *Net, corner tech.Corner) *Result {
 // transient engine, which uses it to size simulation windows.
 func StageElmore(s *Stage, rd float64) []float64 { return stageElmore(s, rd) }
 
+// StageElmoreAt is StageElmore with the corner's interconnect derates
+// applied (identical to StageElmore for underated corners).
+func StageElmoreAt(s *Stage, rd float64, corner tech.Corner) []float64 {
+	return stageElmoreAt(s, rd, corner)
+}
+
 // SinkElmore returns only the per-sink Elmore latencies, as a convenience
 // for construction algorithms that do not need slews.
 func SinkElmore(tr *ctree.Tree, corner tech.Corner) map[int]float64 {
@@ -112,7 +133,7 @@ func SinkElmore(tr *ctree.Tree, corner tech.Corner) map[int]float64 {
 func WorstStageTau(net *Net, corner tech.Corner) float64 {
 	worst := 0.0
 	for _, s := range net.Stages {
-		d := stageElmore(s, net.DriverR(s, corner))
+		d := stageElmoreAt(s, net.DriverR(s, corner), corner)
 		for _, v := range d {
 			if v > worst {
 				worst = v
@@ -133,23 +154,28 @@ type TwoPole struct {
 // Name implements Evaluator.
 func (e *TwoPole) Name() string { return "twopole" }
 
-// stageMoments returns m1 and m2 at every RC node of a stage with driver
-// resistance rd folded in as a virtual root resistor.
-func stageMoments(s *Stage, rd float64) (m1, m2 []float64) {
+// stageMomentsScaled returns m1 and m2 at every RC node of a stage with
+// driver resistance rd folded in as a virtual root resistor, with wire
+// resistance scaled by rs and capacitance by cs (unit scales are exact, so
+// rs = cs = 1 reproduces the pre-derate recurrences bit for bit).
+func stageMomentsScaled(s *Stage, rd, rs, cs float64) (m1, m2 []float64) {
 	n := len(s.R)
-	cdown := append([]float64(nil), s.C...)
+	cdown := make([]float64, n)
+	for i := range cdown {
+		cdown[i] = s.C[i] * cs
+	}
 	for i := n - 1; i >= 1; i-- {
 		cdown[s.Par[i]] += cdown[i]
 	}
 	m1 = make([]float64, n)
 	m1[0] = rd * cdown[0]
 	for i := 1; i < n; i++ {
-		m1[i] = m1[s.Par[i]] + s.R[i]*cdown[i]
+		m1[i] = m1[s.Par[i]] + s.R[i]*rs*cdown[i]
 	}
 	// b[i] = Σ_{k in subtree(i)} C_k · m1_k
 	b := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		b[i] += s.C[i] * m1[i]
+		b[i] += s.C[i] * cs * m1[i]
 		if s.Par[i] >= 0 {
 			b[s.Par[i]] += b[i]
 		}
@@ -157,9 +183,20 @@ func stageMoments(s *Stage, rd float64) (m1, m2 []float64) {
 	m2 = make([]float64, n)
 	m2[0] = rd * b[0]
 	for i := 1; i < n; i++ {
-		m2[i] = m2[s.Par[i]] + s.R[i]*b[i]
+		m2[i] = m2[s.Par[i]] + s.R[i]*rs*b[i]
 	}
 	return m1, m2
+}
+
+// stageMoments is the underated form.
+func stageMoments(s *Stage, rd float64) (m1, m2 []float64) {
+	return stageMomentsScaled(s, rd, 1, 1)
+}
+
+// stageMomentsAt is stageMoments with the corner's interconnect derates
+// applied.
+func stageMomentsAt(s *Stage, rd float64, corner tech.Corner) (m1, m2 []float64) {
+	return stageMomentsScaled(s, rd, corner.RScale(), corner.CScale())
 }
 
 // d2m converts first and second moments into a 50% delay estimate.
@@ -184,7 +221,7 @@ func (e *TwoPole) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Result, error) 
 	arrival := make([]float64, len(net.Stages))
 	for _, s := range net.Stages {
 		rd := net.DriverR(s, corner)
-		m1, m2 := stageMoments(s, rd)
+		m1, m2 := stageMomentsAt(s, rd, corner)
 		base := arrival[s.Index]
 		for _, ci := range s.Children {
 			child := net.Stages[ci]

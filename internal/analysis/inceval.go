@@ -72,7 +72,7 @@ func (e *IncrementalElmore) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Resul
 		key := driverKey(s.Driver)
 		ent := entries[key]
 		if ent == nil || ent.stage != s || ent.rd != rd {
-			ent = &elmoreEntry{stage: s, rd: rd, d: stageElmore(s, rd)}
+			ent = &elmoreEntry{stage: s, rd: rd, d: stageElmoreAt(s, rd, corner)}
 			for _, v := range ent.d {
 				slew := ln9 * v
 				if slew > ent.maxSlew {
@@ -173,7 +173,7 @@ func (e *IncrementalTwoPole) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Resu
 		key := driverKey(s.Driver)
 		ent := entries[key]
 		if ent == nil || ent.stage != s || ent.rd != rd {
-			m1, m2 := stageMoments(s, rd)
+			m1, m2 := stageMomentsAt(s, rd, corner)
 			ent = &twoPoleEntry{stage: s, rd: rd, m1: m1, m2: m2}
 			for i := range m1 {
 				slew := slewFromMoments(m1[i], m2[i])

@@ -221,22 +221,22 @@ func TestIncrementalElmoreAfterRestore(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	tr := randomBufferedTree(rng, tk)
 	inc := &IncrementalElmore{}
-	if _, err := inc.Evaluate(tr, tk.Corners[0]); err != nil {
+	if _, err := inc.Evaluate(tr, tk.Reference()); err != nil {
 		t.Fatal(err)
 	}
 	snap := tr.Clone()
 	for i := 0; i < 4; i++ {
 		randomMove(rng, tr)
 	}
-	if _, err := inc.Evaluate(tr, tk.Corners[0]); err != nil {
+	if _, err := inc.Evaluate(tr, tk.Reference()); err != nil {
 		t.Fatal(err)
 	}
 	*tr = *snap
-	got, err := inc.Evaluate(tr, tk.Corners[0])
+	got, err := inc.Evaluate(tr, tk.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := (&Elmore{}).Evaluate(tr, tk.Corners[0])
+	want, err := (&Elmore{}).Evaluate(tr, tk.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}

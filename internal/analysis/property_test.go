@@ -44,11 +44,11 @@ func TestElmoreSubdivisionInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for iter := 0; iter < 25; iter++ {
 		tr := randomBufferedTree(rng, tk)
-		coarse, err := (&Elmore{MaxSeg: 1e9}).Evaluate(tr, tk.Corners[0])
+		coarse, err := (&Elmore{MaxSeg: 1e9}).Evaluate(tr, tk.Reference())
 		if err != nil {
 			t.Fatal(err)
 		}
-		fine, err := (&Elmore{MaxSeg: 25}).Evaluate(tr, tk.Corners[0])
+		fine, err := (&Elmore{MaxSeg: 25}).Evaluate(tr, tk.Reference())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,8 +68,8 @@ func TestMomentOrdering(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	for iter := 0; iter < 25; iter++ {
 		tr := randomBufferedTree(rng, tk)
-		el, _ := (&Elmore{}).Evaluate(tr, tk.Corners[0])
-		tp, _ := (&TwoPole{}).Evaluate(tr, tk.Corners[0])
+		el, _ := (&Elmore{}).Evaluate(tr, tk.Reference())
+		tp, _ := (&TwoPole{}).Evaluate(tr, tk.Reference())
 		for id, m1 := range el.Rise {
 			d := tp.Rise[id]
 			if d < 0 || m1 < 0 {
@@ -90,10 +90,10 @@ func TestMonotoneInCapacitance(t *testing.T) {
 	for iter := 0; iter < 15; iter++ {
 		tr := randomBufferedTree(rng, tk)
 		sinks := tr.Sinks()
-		before, _ := (&Elmore{}).Evaluate(tr, tk.Corners[0])
+		before, _ := (&Elmore{}).Evaluate(tr, tk.Reference())
 		victim := sinks[rng.Intn(len(sinks))]
 		victim.SinkCap += 100
-		after, _ := (&Elmore{}).Evaluate(tr, tk.Corners[0])
+		after, _ := (&Elmore{}).Evaluate(tr, tk.Reference())
 		for id, v := range before.Rise {
 			if after.Rise[id] < v-1e-9 {
 				t.Fatalf("iter %d: sink %d got faster after adding load", iter, id)
@@ -142,9 +142,9 @@ func TestOffsetTracksEdits(t *testing.T) {
 	if _, err := off.Calibrate(tr, &TwoPole{}); err != nil {
 		t.Fatal(err)
 	}
-	before, _ := off.Evaluate(tr, tk.Corners[0])
+	before, _ := off.Evaluate(tr, tk.Reference())
 	s.Snake += 800
-	after, _ := off.Evaluate(tr, tk.Corners[0])
+	after, _ := off.Evaluate(tr, tk.Reference())
 	if after.Rise[s.ID] <= before.Rise[s.ID] {
 		t.Error("hybrid did not track a slow-down edit")
 	}
@@ -156,7 +156,7 @@ func TestStageSlewConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for iter := 0; iter < 15; iter++ {
 		tr := randomBufferedTree(rng, tk)
-		res, _ := (&Elmore{}).Evaluate(tr, tk.Corners[0])
+		res, _ := (&Elmore{}).Evaluate(tr, tk.Reference())
 		worst := 0.0
 		for _, v := range res.StageSlew {
 			if v > worst {

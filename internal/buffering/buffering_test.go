@@ -20,7 +20,7 @@ func TestInsertFixesSlewOnLongLine(t *testing.T) {
 	tk := tech.Default45()
 	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
 	tr.AddSink(tr.Root, geom.Pt(12000, 0), 35, "far")
-	res0, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Corners[0])
+	res0, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Reference())
 	if res0.SlewViol == 0 {
 		t.Fatal("test needs an initial slew violation")
 	}
@@ -34,7 +34,7 @@ func TestInsertFixesSlewOnLongLine(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res1, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Corners[0])
+	res1, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Reference())
 	if res1.SlewViol != 0 {
 		t.Errorf("slew violations remain: %d (max %v)", res1.SlewViol, res1.MaxSlew)
 	}

@@ -31,7 +31,10 @@ func InsertBestComposite(tr *ctree.Tree, ladder []tech.Composite, capLimit, gamm
 		return nil, fmt.Errorf("buffering: empty composite ladder")
 	}
 	budget := (1 - gamma) * capLimit
-	corner := tr.Tech.Corners[0]
+	// The sweep judges candidates at the set's reference corner; going
+	// through the role accessor (not index 0) keeps custom corner sets —
+	// where the fast corner may sit anywhere — evaluating the right one.
+	corner := tr.Tech.Reference()
 
 	insert := Insert
 	if opt.Mode != "vg" {
@@ -81,7 +84,7 @@ func adoptFrom(tr, donor *ctree.Tree) {
 // WorstLatency returns the worst Elmore sink latency at the reference
 // corner, as a cheap quality indicator used by the sweep and by tests.
 func WorstLatency(tr *ctree.Tree) float64 {
-	res, err := (&analysis.Elmore{}).Evaluate(tr, tr.Tech.Corners[0])
+	res, err := (&analysis.Elmore{}).Evaluate(tr, tr.Tech.Reference())
 	if err != nil {
 		return math.Inf(1)
 	}

@@ -45,6 +45,9 @@ func (k BaselineKind) String() string {
 // buffer, fix polarity, evaluate — no optimization cascade.
 func SynthesizeBaseline(b *bench.Benchmark, kind BaselineKind, o Options) (*Result, error) {
 	o = o.Resolve()
+	if err := checkCornersApplied(o); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &Result{Benchmark: b}
 

@@ -41,7 +41,7 @@ func TestResultCodecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got.Stages, res.Stages) {
 		t.Errorf("stage records drifted:\n got %+v\nwant %+v", got.Stages, res.Stages)
 	}
-	if got.Final != res.Final {
+	if !reflect.DeepEqual(got.Final, res.Final) {
 		t.Errorf("final metrics drifted: got %+v want %+v", got.Final, res.Final)
 	}
 

@@ -18,6 +18,7 @@ import (
 
 	"contango/internal/analysis"
 	"contango/internal/bench"
+	"contango/internal/corners"
 	"contango/internal/ctree"
 	"contango/internal/eval"
 	"contango/internal/flow"
@@ -73,6 +74,12 @@ func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Res
 	o = o.Resolve()
 	plan, err := flow.ResolvePlan(o.Plan)
 	if err != nil {
+		return nil, err
+	}
+	// Resolve installs valid corner sets; an invalid spec survives it
+	// verbatim, so re-validating here turns it into a clean error instead
+	// of a silent fall-back to the default corners.
+	if err := checkCornersApplied(o); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -161,8 +168,26 @@ func max1(n int) int {
 	return n
 }
 
-// CNEOnly evaluates an existing tree at all corners without modifying it
-// (used by cmd/cnseval and tests).
+// checkCornersApplied verifies, on resolved options, that the requested
+// corner set actually governs the run: the spec parses, and when it is
+// non-default the resolved Tech carries it. The second check catches the
+// silent-mismatch case — a caller handing in a Tech that already carries a
+// *different* applied set (Resolve never re-derives generated sets from
+// applied corners, so it cannot honor the request) — which must be an
+// error, not a quiet run under the wrong corners.
+func checkCornersApplied(o Options) error {
+	if err := corners.Validate(o.Corners); err != nil {
+		return err
+	}
+	if o.Corners != corners.DefaultName && o.Tech.CornerSpec != o.Corners {
+		return fmt.Errorf("core: corner set %q cannot be applied: technology model already carries corner set %q",
+			o.Corners, o.Tech.CornerSpec)
+	}
+	return nil
+}
+
+// CNEOnly evaluates an existing tree at all corners of its installed
+// corner set without modifying it (used by cmd/cnseval and tests).
 func CNEOnly(tr *ctree.Tree, eng *spice.Engine, capLimit float64) (eval.Metrics, []*analysis.Result, error) {
 	if eng == nil {
 		eng = spice.New()
@@ -171,5 +196,9 @@ func CNEOnly(tr *ctree.Tree, eng *spice.Engine, capLimit float64) (eval.Metrics,
 	if err != nil {
 		return eval.Metrics{}, nil, err
 	}
-	return eval.FromResults(tr, rs, capLimit), rs, nil
+	m, err := eval.FromResults(tr, corners.FromTech(tr.Tech), rs, capLimit)
+	if err != nil {
+		return eval.Metrics{}, nil, err
+	}
+	return m, rs, nil
 }

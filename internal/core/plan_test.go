@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -20,14 +21,14 @@ func sameRun(t *testing.T, label string, a, b *Result) {
 		if x.Name != y.Name {
 			t.Errorf("%s: stage %d named %s vs %s", label, i, x.Name, y.Name)
 		}
-		if x.Metrics != y.Metrics {
+		if !reflect.DeepEqual(x.Metrics, y.Metrics) {
 			t.Errorf("%s: stage %s metrics differ: %v vs %v", label, x.Name, x.Metrics, y.Metrics)
 		}
 		if x.Runs != y.Runs {
 			t.Errorf("%s: stage %s run counts differ: %d vs %d", label, x.Name, x.Runs, y.Runs)
 		}
 	}
-	if a.Final != b.Final {
+	if !reflect.DeepEqual(a.Final, b.Final) {
 		t.Errorf("%s: final metrics differ: %v vs %v", label, a.Final, b.Final)
 	}
 	if a.Runs != b.Runs {

@@ -37,7 +37,7 @@ func TestZeroElmoreSkewProperty(t *testing.T) {
 			if got := len(tr.Sinks()); got != n {
 				t.Fatalf("%s/%d: %d sinks in tree", topo, n, got)
 			}
-			res, err := (&analysis.Elmore{}).Evaluate(tr, tk.Corners[0])
+			res, err := (&analysis.Elmore{}).Evaluate(tr, tk.Reference())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -168,7 +168,7 @@ func TestCoincidentSinks(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Corners[0])
+	res, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Reference())
 	// The netlist extractor clamps zero-length edges to 1e-9 kΩ, which
 	// leaves sub-femtosecond noise.
 	if sk := res.Skew(); sk > 1e-6 {
@@ -198,7 +198,7 @@ func TestLargeMMMScales(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := (&analysis.Elmore{MaxSeg: 1e9}).Evaluate(tr, tk.Corners[0])
+	res, _ := (&analysis.Elmore{MaxSeg: 1e9}).Evaluate(tr, tk.Reference())
 	_, max := res.MinMaxRise()
 	if sk := res.Skew(); sk > 1e-6*max {
 		t.Errorf("20K-sink ZST skew=%v", sk)

@@ -3,6 +3,7 @@ package flow
 import (
 	"runtime"
 
+	"contango/internal/corners"
 	"contango/internal/opt"
 	"contango/internal/spice"
 	"contango/internal/tech"
@@ -35,6 +36,14 @@ type Options struct {
 	// "fast", "wire-only", "tune-only", "no-cycles") or a plan-spec string
 	// (see ParsePlan). Empty means "paper" — the exact pre-pipeline flow.
 	Plan string
+	// Corners selects the PVT corner set the run is evaluated and
+	// optimized across: "ispd09" (the technology's native pair — the
+	// default and the exact legacy behavior), "pvt5" (five-corner PVT
+	// envelope), or "mc:<n>:<seed>[:vsigma[:rsigma[:csigma]]]" (n
+	// deterministic Monte Carlo variation samples). Non-default sets are
+	// installed on a clone of Tech during Resolve, so a shared technology
+	// model is never mutated.
+	Corners string
 	// SkipStages disables individual optional stages by canonical name
 	// ("tbsz", "twsz", "twsn", "bwsn") for ablations, whatever plan runs.
 	SkipStages map[string]bool
@@ -120,6 +129,21 @@ func (o Options) Resolve() Options {
 	// the parse error.
 	if p, err := ResolvePlan(o.Plan); err == nil {
 		o.Plan = p.String()
+	}
+	// Canonicalize the corner-set spec and install non-default sets on a
+	// clone of the technology model. The default set ("ispd09") leaves
+	// Tech untouched — bit-for-bit the legacy two-corner behavior, which
+	// is what keeps default result-cache keys and the benchci baseline
+	// stable. Invalid specs are left verbatim for the run (or the
+	// service's submit validation) to report.
+	o.Corners = corners.Canon(o.Corners)
+	if o.Corners != corners.DefaultName && o.Tech.CornerSpec != o.Corners {
+		// Generated sets derive from the native corner envelope; a Tech
+		// that already carries an applied set is never re-derived (the
+		// CornerSpec match above is what makes Resolve idempotent).
+		if set, err := corners.Build(o.Corners, o.Tech); err == nil && o.Tech.CornerSpec == "" {
+			o.Tech = set.Apply(o.Tech)
+		}
 	}
 	return o
 }

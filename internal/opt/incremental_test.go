@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"reflect"
 	"testing"
 
 	"contango/internal/spice"
@@ -31,7 +32,7 @@ func TestPassesWithIncrementalEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mf != mi {
+	if !reflect.DeepEqual(mf, mi) {
 		t.Errorf("incremental cascade diverged from full: %v vs %v", mf, mi)
 	}
 	ie := incr.Eng.(*spice.Incremental)

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"contango/internal/analysis"
+	"contango/internal/corners"
 	"contango/internal/ctree"
 	"contango/internal/eval"
 	"contango/internal/geom"
@@ -133,7 +134,10 @@ func (cx *Context) CNE() ([]*analysis.Result, eval.Metrics, error) {
 			rs = append(rs, r)
 		}
 	}
-	m := eval.FromResults(cx.Tree, rs, cx.CapLimit)
+	m, err := eval.FromResults(cx.Tree, corners.FromTech(cx.Tree.Tech), rs, cx.CapLimit)
+	if err != nil {
+		return nil, eval.Metrics{}, err
+	}
 	cx.lastResults, cx.lastMetrics, cx.haveCNE = rs, m, true
 	return rs, m, nil
 }

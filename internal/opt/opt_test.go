@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"contango/internal/analysis"
@@ -55,7 +56,7 @@ func TestCNEAndBaselineCaching(t *testing.T) {
 	if eng.Runs != runs {
 		t.Error("Baseline should reuse the cached CNE")
 	}
-	if m1 != m2 {
+	if !reflect.DeepEqual(m1, m2) {
 		t.Error("cached metrics differ")
 	}
 	cx.Invalidate()

@@ -118,7 +118,7 @@ func snakeBudgetPass(cx *Context, res []*analysis.Result, twn, twnSlew, lwn, saf
 	// own series resistance feeding everything below the edge. Inverting
 	// the quadratic gives the largest snake the remaining stage headroom
 	// allows; headroom is consumed as edges of the same stage are snaked.
-	slowV := tk.Corners[len(tk.Corners)-1].Vdd
+	slowV := tk.Worst().Vdd
 	driverR := func(driverID int) float64 {
 		if driverID < 0 {
 			return cx.Tree.SourceR * (tk.VddRef - tk.Vt) / (slowV - tk.Vt)

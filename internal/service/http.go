@@ -8,8 +8,10 @@ import (
 	"strings"
 
 	"contango/internal/bench"
+	"contango/internal/corners"
 	"contango/internal/flow"
 	"contango/internal/store"
+	"contango/internal/tech"
 )
 
 // Server is the contangod HTTP front end over a Service.
@@ -26,6 +28,7 @@ import (
 //	GET    /api/v1/jobs/{id}/artifacts/{name} one artifact blob (result|log|svg|job)
 //	GET    /api/v1/jobs/{id}/events  server-sent progress events
 //	GET    /api/v1/benchmarks    named benchmarks -> {benchmarks: []string}
+//	GET    /api/v1/corners       built-in PVT corner sets -> {corners: []corners.Info}
 //	GET    /api/v1/stats         service counters -> Stats
 //	GET    /healthz              liveness probe
 type Server struct {
@@ -40,6 +43,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("/api/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/api/v1/batches", s.handleBatches)
 	s.mux.HandleFunc("/api/v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/api/v1/corners", s.handleCorners)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -312,6 +316,20 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"benchmarks": bench.ISPD09Names()})
+}
+
+// handleCorners lists the built-in corner sets (and the mc generator's
+// grammar) as instantiated for the default technology model, including
+// which corner holds the reference and worst-case roles.
+func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"default": corners.DefaultName,
+		"corners": corners.List(tech.Default45()),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -10,7 +10,61 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/flow"
+	"contango/internal/tech"
 )
+
+// cornerFP and techFP mirror the technology model's pre-corner-set field
+// layout, so the fingerprint rendering of a default (underated, legacy
+// roles) technology is byte-identical to what %+v of the old Tech struct
+// produced — which is what keeps result-cache keys persisted by earlier
+// releases valid. Corner-set state (derates, weights, roles, the MC flag)
+// is appended separately, and only when it differs from the legacy
+// defaults.
+type cornerFP struct {
+	Name string
+	Vdd  float64
+}
+
+type techFP struct {
+	Wires       []tech.WireType
+	Inverters   []tech.InverterType
+	Corners     []cornerFP
+	Vt          float64
+	VddRef      float64
+	SlewLimit   float64
+	MaxParallel int
+	SlewSafeCap float64
+}
+
+// techFingerprint renders everything about a technology model that shapes
+// results. The legacy mirror comes first; corner-set extensions append
+// only non-default state so default technologies hash exactly as before.
+func techFingerprint(t *tech.Tech) string {
+	fp := techFP{
+		Wires:       t.Wires,
+		Inverters:   t.Inverters,
+		Corners:     make([]cornerFP, len(t.Corners)),
+		Vt:          t.Vt,
+		VddRef:      t.VddRef,
+		SlewLimit:   t.SlewLimit,
+		MaxParallel: t.MaxParallel,
+		SlewSafeCap: t.SlewSafeCap,
+	}
+	var ext strings.Builder
+	for i, c := range t.Corners {
+		fp.Corners[i] = cornerFP{Name: c.Name, Vdd: c.Vdd}
+		if c.RDerate != 0 || c.CDerate != 0 || c.Weight != 0 {
+			fmt.Fprintf(&ext, "|c%d=r%g,c%g,w%g", i, c.RDerate, c.CDerate, c.Weight)
+		}
+	}
+	if t.RefIdx != 0 || t.WorstIdx != 0 {
+		fmt.Fprintf(&ext, "|ref=%d,worst=%d", t.RefIdx, t.WorstIdx)
+	}
+	if t.MCSet {
+		ext.WriteString("|mc")
+	}
+	return fmt.Sprintf("%+v", fp) + ext.String()
+}
 
 // OptionsFingerprint canonicalizes the knobs of a synthesis configuration
 // that influence the result and renders them as a stable string. The
@@ -29,7 +83,7 @@ import (
 func OptionsFingerprint(o core.Options) string {
 	r := o.Resolve()
 	var b strings.Builder
-	techSum := sha256.Sum256([]byte(fmt.Sprintf("%+v", *r.Tech)))
+	techSum := sha256.Sum256([]byte(techFingerprint(r.Tech)))
 	fmt.Fprintf(&b, "tech=%s", hex.EncodeToString(techSum[:8]))
 	fmt.Fprintf(&b, ";eng=%g,%g,%g,%g", r.Engine.MaxSeg, r.Engine.Dt, r.Engine.SourceSlew, r.Engine.SettleTol)
 	fmt.Fprintf(&b, ";gamma=%g;rounds=%d;cycles=%d;bufstep=%g;fulleval=%t",

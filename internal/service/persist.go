@@ -236,6 +236,7 @@ func validArtifactName(name string) bool {
 func optionsToWire(o core.Options) OptionsWire {
 	w := OptionsWire{
 		Plan:           o.Plan,
+		Corners:        o.Corners,
 		FastSim:        o.FastSim,
 		Gamma:          o.Gamma,
 		LargeInverters: o.LargeInverters,

@@ -24,6 +24,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/corners"
 	"contango/internal/flow"
 	"contango/internal/store"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// JobParallelism it shapes results, so it is applied before the job's
 	// content key is computed.
 	DefaultPlan string
+	// DefaultCorners is applied to submissions that leave Options.Corners
+	// unset (empty keeps the library default, the technology's native
+	// "ispd09" pair). Like DefaultPlan it shapes results and therefore
+	// participates in the job's content key.
+	DefaultCorners string
 	// DataDir, when non-empty, roots the durable storage layer: a
 	// content-addressed artifact store (finished results, job logs, SVGs,
 	// job specs) plus the job journal. Empty keeps the service purely
@@ -213,9 +219,16 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	if o.Plan == "" {
 		o.Plan = s.cfg.DefaultPlan
 	}
-	// Reject unparsable plans up front: a bad spec would only fail after
-	// queueing, and its raw string would pollute the key space.
+	if o.Corners == "" {
+		o.Corners = s.cfg.DefaultCorners
+	}
+	// Reject unparsable plan and corner-set specs up front: a bad spec
+	// would only fail after queueing, and its raw string would pollute the
+	// key space.
 	if _, err := flow.ResolvePlan(o.Plan); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if err := corners.Validate(o.Corners); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	key := JobKey(b, o)

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -97,7 +98,7 @@ func TestSubmitWaitAndCacheHit(t *testing.T) {
 	if res2 == res1 {
 		t.Error("cache hits must hand out defensive copies, not the shared result")
 	}
-	if res2.Final != res1.Final || res2.Runs != res1.Runs {
+	if !reflect.DeepEqual(res2.Final, res1.Final) || res2.Runs != res1.Runs {
 		t.Error("cache hit content differs from the original result")
 	}
 	st := svc.Stats()
@@ -224,7 +225,7 @@ func TestBatchResubmissionServedFromCache(t *testing.T) {
 		if j.CacheHit() {
 			hits++
 		}
-		if second[i].Final != first[i].Final || second[i].Runs != first[i].Runs {
+		if !reflect.DeepEqual(second[i].Final, first[i].Final) || second[i].Runs != first[i].Runs {
 			t.Errorf("job %d: resubmission returned a different result", i)
 		}
 	}

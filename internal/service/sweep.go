@@ -15,6 +15,9 @@ type Sweep struct {
 	// Plans sweeps the synthesis pipeline: built-in plan names or plan-spec
 	// strings (a plan-matrix run in one batch).
 	Plans []string `json:"plans,omitempty"`
+	// Corners sweeps the PVT corner set: built-in names or mc:<n>:<seed>
+	// specs (a corner-matrix run in one batch).
+	Corners []string `json:"corners,omitempty"`
 }
 
 // Expand returns one Options per sweep point, derived from base. With no
@@ -23,6 +26,9 @@ func (sw Sweep) Expand(base core.Options) []core.Options {
 	out := []core.Options{base}
 	if len(sw.Plans) > 0 {
 		out = expandAxis(out, len(sw.Plans), func(o *core.Options, i int) { o.Plan = sw.Plans[i] })
+	}
+	if len(sw.Corners) > 0 {
+		out = expandAxis(out, len(sw.Corners), func(o *core.Options, i int) { o.Corners = sw.Corners[i] })
 	}
 	if len(sw.Gammas) > 0 {
 		out = expandAxis(out, len(sw.Gammas), func(o *core.Options, i int) { o.Gamma = sw.Gammas[i] })

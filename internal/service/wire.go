@@ -14,6 +14,9 @@ import (
 )
 
 // MetricsWire is eval.Metrics with explicit units in the field names.
+// The per-corner breakdown and the variation statistics (CLR spread,
+// worst-corner attribution, Monte Carlo yield/quantiles) ride along for
+// multi-corner runs.
 type MetricsWire struct {
 	SkewPs         float64 `json:"skew_ps"`
 	CLRPs          float64 `json:"clr_ps"`
@@ -22,11 +25,35 @@ type MetricsWire struct {
 	SlewViolations int     `json:"slew_violations"`
 	TotalCapFF     float64 `json:"total_cap_ff"`
 	CapPct         float64 `json:"cap_pct"`
+
+	CLRSpreadPs float64          `json:"clr_spread_ps,omitempty"`
+	WorstCorner string           `json:"worst_corner,omitempty"`
+	PerCorner   []CornerStatWire `json:"per_corner,omitempty"`
+	// MCSamples and Yield appear only for Monte Carlo runs. Yield is a
+	// pointer so a catastrophic 0% yield still serializes ("yield": 0)
+	// instead of vanishing under omitempty and reading as "no yield
+	// analysis ran".
+	MCSamples int      `json:"mc_samples,omitempty"`
+	Yield     *float64 `json:"yield,omitempty"`
+	LatP50Ps  float64  `json:"lat_p50_ps,omitempty"`
+	LatP95Ps  float64  `json:"lat_p95_ps,omitempty"`
+}
+
+// CornerStatWire is one corner's row of the per-corner breakdown.
+type CornerStatWire struct {
+	Name           string  `json:"name"`
+	Vdd            float64 `json:"vdd"`
+	MinLatPs       float64 `json:"min_lat_ps"`
+	MaxLatPs       float64 `json:"max_lat_ps"`
+	SkewPs         float64 `json:"skew_ps"`
+	MaxSlewPs      float64 `json:"max_slew_ps"`
+	SlewViolations int     `json:"slew_violations,omitempty"`
+	Weight         float64 `json:"weight,omitempty"`
 }
 
 // MetricsToWire converts flow metrics to their wire shape.
 func MetricsToWire(m eval.Metrics) MetricsWire {
-	return MetricsWire{
+	w := MetricsWire{
 		SkewPs:         m.Skew,
 		CLRPs:          m.CLR,
 		MaxLatencyPs:   m.MaxLatency,
@@ -34,7 +61,24 @@ func MetricsToWire(m eval.Metrics) MetricsWire {
 		SlewViolations: m.SlewViol,
 		TotalCapFF:     m.TotalCap,
 		CapPct:         m.CapPct,
+		CLRSpreadPs:    m.CLRSpread,
+		WorstCorner:    m.WorstCorner,
+		MCSamples:      m.MCSamples,
+		LatP50Ps:       m.LatP50,
+		LatP95Ps:       m.LatP95,
 	}
+	if m.MCSamples > 0 {
+		y := m.Yield
+		w.Yield = &y
+	}
+	for _, c := range m.PerCorner {
+		w.PerCorner = append(w.PerCorner, CornerStatWire{
+			Name: c.Name, Vdd: c.Vdd,
+			MinLatPs: c.MinLat, MaxLatPs: c.MaxLat, SkewPs: c.Skew,
+			MaxSlewPs: c.MaxSlew, SlewViolations: c.SlewViol, Weight: c.Weight,
+		})
+	}
+	return w
 }
 
 // StageWire is one optimization-cascade record (a Table III row).
@@ -143,7 +187,13 @@ type OptionsWire struct {
 	// "fast", "wire-only", "tune-only", "no-cycles") or a plan-spec string
 	// such as "tbsz:2,cycle(twsz,twsn)x2". Different plans content-address
 	// differently, so they never share a result-cache slot.
-	Plan           string  `json:"plan,omitempty"`
+	Plan string `json:"plan,omitempty"`
+	// Corners selects the PVT corner set: "ispd09" (default), "pvt5", or
+	// "mc:<n>:<seed>[:vsigma[:rsigma[:csigma]]]". Different sets evaluate
+	// different scenarios and content-address differently, so they never
+	// share a result-cache slot; the default set keys exactly as before
+	// corner sets existed.
+	Corners        string  `json:"corners,omitempty"`
 	FastSim        bool    `json:"fast_sim,omitempty"`
 	Gamma          float64 `json:"gamma,omitempty"`
 	LargeInverters bool    `json:"large_inverters,omitempty"`
@@ -168,6 +218,7 @@ type OptionsWire struct {
 func (o OptionsWire) Options() core.Options {
 	out := core.Options{
 		Plan:           o.Plan,
+		Corners:        o.Corners,
 		FastSim:        o.FastSim,
 		Gamma:          o.Gamma,
 		LargeInverters: o.LargeInverters,

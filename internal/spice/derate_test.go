@@ -1,0 +1,72 @@
+package spice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"contango/internal/corners"
+	"contango/internal/tech"
+)
+
+// TestIncrementalMatchesSerialUnderCornerSet: the incremental cached
+// evaluator must stay bit-identical to the serial whole-tree engine when
+// the technology carries a derated multi-corner set (pvt5) — including
+// across mutation rounds, where derated stage transients are served from
+// the per-(corner,edge) cache.
+func TestIncrementalMatchesSerialUnderCornerSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := tech.Default45()
+	set, err := corners.Build("pvt5", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := set.Apply(base)
+	tr := randomStagedTree(rng, tk)
+
+	ie := NewIncremental(tr, New(), 2)
+	serialEng := New()
+	for round := 0; round < 4; round++ {
+		if round > 0 {
+			randomMove(rng, tr)
+		}
+		inc, err := ie.EvaluateCorners(tr, tk.Corners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, c := range tk.Corners {
+			want, err := serialEng.Evaluate(tr, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inc[ci], want) {
+				t.Fatalf("round %d corner %s: incremental diverged from serial", round, c.Name)
+			}
+		}
+	}
+	if ie.Stats.StagesHit == 0 {
+		t.Error("cache never hit across rounds — derated corners defeated reuse")
+	}
+
+	// Derated corners must actually differ from their underated twins:
+	// same Vdd, different interconnect.
+	ss := tk.Corners[4]
+	bare := tech.Corner{Name: ss.Name, Vdd: ss.Vdd}
+	a, err := serialEng.Evaluate(tr, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serialEng.Evaluate(tr, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 0
+	for id, v := range a.Rise {
+		if v > b.Rise[id] {
+			slower++
+		}
+	}
+	if slower == 0 {
+		t.Error("slow-interconnect derates had no effect on the transient engine")
+	}
+}

@@ -130,7 +130,7 @@ func (e *Engine) simulateLaunch(net *analysis.Net, corner tech.Corner, rising bo
 		} else {
 			drv = inverterDriver{k: tk.KDrive(*s.Driver.Buf), vdd: vdd, vt: tk.Vt}
 		}
-		st := e.simStage(s, drv, vin, dirs[s.Index], vdd, net.DriverR(s, corner))
+		st := e.simStage(s, drv, vin, dirs[s.Index], corner, net.DriverR(s, corner))
 		for _, m := range s.Sinks {
 			out.sinkT50[m.Sink.ID] = st.t50[m.Node] - srcT50
 			out.sinkSlew[m.Sink.ID] = st.slew[m.Node]
@@ -174,9 +174,15 @@ type stageResult struct {
 // simStage integrates one stage with Backward Euler. The RC tree is reduced
 // bottom-up to a Thevenin equivalent at the driver output each step; the
 // driver equation is solved by Newton; voltages back-substitute top-down.
-func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRising bool, vdd, rd float64) stageResult {
+// The corner supplies the supply rail and the interconnect derates; for an
+// underated corner the conductance setup reduces to the exact legacy
+// arithmetic (scaling by 1.0 is exact in IEEE 754), keeping default-set
+// results bit-identical.
+func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRising bool, corner tech.Corner, rd float64) stageResult {
 	n := len(s.R)
 	dt := e.Dt
+	vdd := corner.Vdd
+	rScale, cScale := corner.RScale(), corner.CScale()
 	rail0, railF := vdd, 0.0
 	if outRising {
 		rail0, railF = 0.0, vdd
@@ -185,9 +191,9 @@ func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRisin
 	g := make([]float64, n)
 	gC := make([]float64, n)
 	for i := 0; i < n; i++ {
-		gC[i] = s.C[i] / dt
+		gC[i] = s.C[i] * cScale / dt
 		if i > 0 {
-			g[i] = 1 / s.R[i]
+			g[i] = 1 / (s.R[i] * rScale)
 		}
 	}
 	// Constant elimination factors (caps and resistances are fixed).
@@ -228,7 +234,7 @@ func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRisin
 	// Window: input transition plus several stage time constants, with a
 	// hard cap to stay live under degenerate drivers.
 	tauMax := 1.0
-	for _, tau := range analysis.StageElmore(s, rd) {
+	for _, tau := range analysis.StageElmoreAt(s, rd, corner) {
 		if tau > tauMax {
 			tauMax = tau
 		}

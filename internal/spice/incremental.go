@@ -316,7 +316,7 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 			} else {
 				drv = inverterDriver{k: tk.KDrive(*s.Driver.Buf), vdd: vdd, vt: tk.Vt}
 			}
-			st := e.simStage(s, drv, vin, dirs[i], vdd, rd)
+			st := e.simStage(s, drv, vin, dirs[i], corner, rd)
 			results[i] = &st
 		})
 		for _, i := range work {

@@ -75,7 +75,7 @@ func TestStepResponseMatchesAnalyticRC(t *testing.T) {
 	tr := lumpedRC(tk, r, c)
 	e := New()
 	e.SourceSlew = 0.1 // near-ideal step
-	res, err := e.Evaluate(tr, tk.Corners[0])
+	res, err := e.Evaluate(tr, tk.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +101,10 @@ func TestTimestepConvergence(t *testing.T) {
 	sink := tr.Sinks()[0].ID
 	e1 := New()
 	e1.Dt = 2
-	r1, _ := e1.Evaluate(tr, tk.Corners[0])
+	r1, _ := e1.Evaluate(tr, tk.Reference())
 	e2 := New()
 	e2.Dt = 0.5
-	r2, _ := e2.Evaluate(tr, tk.Corners[0])
+	r2, _ := e2.Evaluate(tr, tk.Reference())
 	if math.Abs(r1.Rise[sink]-r2.Rise[sink]) > 0.02*r2.Rise[sink] {
 		t.Errorf("timestep sensitivity too high: dt=2 -> %v, dt=0.5 -> %v", r1.Rise[sink], r2.Rise[sink])
 	}
@@ -123,7 +123,7 @@ func TestInverterChainPolarityAndDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := New()
-	res, err := e.Evaluate(tr, tk.Corners[0])
+	res, err := e.Evaluate(tr, tk.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestInverterChainPolarityAndDelay(t *testing.T) {
 		t.Fatalf("latency=%v", lat)
 	}
 	// Sanity: latency should be within a factor of three of the Elmore sum.
-	el, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Corners[0])
+	el, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Reference())
 	if lat > 3*el.Rise[s.ID] || lat < el.Rise[s.ID]/3 {
 		t.Errorf("transient %v vs elmore %v out of band", lat, el.Rise[s.ID])
 	}
@@ -152,7 +152,7 @@ func TestSymmetricTreeZeroSkew(t *testing.T) {
 		b.Buf = &comp
 	}
 	e := New()
-	res, err := e.Evaluate(tr, tk.Corners[0])
+	res, err := e.Evaluate(tr, tk.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,8 +169,8 @@ func TestLowVddSlower(t *testing.T) {
 	b := tr.InsertOnEdge(s, 1000, ctree.Buffer)
 	b.Buf = &comp
 	e := New()
-	fast, _ := e.Evaluate(tr, tk.Corners[0])
-	slow, _ := e.Evaluate(tr, tk.Corners[1])
+	fast, _ := e.Evaluate(tr, tk.Reference())
+	slow, _ := e.Evaluate(tr, tk.Worst())
 	if slow.Rise[s.ID] <= fast.Rise[s.ID] {
 		t.Errorf("1.0V (%v) must be slower than 1.2V (%v)", slow.Rise[s.ID], fast.Rise[s.ID])
 	}
@@ -188,7 +188,7 @@ func TestStrongerBufferFaster(t *testing.T) {
 		b := tr.InsertOnEdge(s, 1000, ctree.Buffer)
 		b.Buf = &comp
 		e := New()
-		res, _ := e.Evaluate(tr, tk.Corners[0])
+		res, _ := e.Evaluate(tr, tk.Reference())
 		return res.Rise[s.ID], res.SinkSlew[s.ID]
 	}
 	lat8, slew8 := mk(8)
@@ -212,10 +212,10 @@ func TestSlewToDelayCoupling(t *testing.T) {
 	b.Buf = &comp
 	eFast := New()
 	eFast.SourceSlew = 10
-	rFast, _ := eFast.Evaluate(tr, tk.Corners[0])
+	rFast, _ := eFast.Evaluate(tr, tk.Reference())
 	eSlow := New()
 	eSlow.SourceSlew = 80
-	rSlow, _ := eSlow.Evaluate(tr, tk.Corners[0])
+	rSlow, _ := eSlow.Evaluate(tr, tk.Reference())
 	// Latencies are measured from the source 50% point, so pure Elmore
 	// would predict no difference; the nonlinear driver sees the slow ramp.
 	if rSlow.Rise[s.ID] <= rFast.Rise[s.ID] {
@@ -229,7 +229,7 @@ func TestSlewViolationDetected(t *testing.T) {
 	tr := ctree.New(tk, geom.Pt(0, 0), 0.8)
 	tr.AddSink(tr.Root, geom.Pt(6000, 0), 35, "far")
 	e := New()
-	res, err := e.Evaluate(tr, tk.Corners[0])
+	res, err := e.Evaluate(tr, tk.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,8 +252,8 @@ func TestResistiveShielding(t *testing.T) {
 	far := tr.AddSink(mid, geom.Pt(3200, 0), 20, "far")
 	far.WidthIdx = tk.Narrow()
 	e := New()
-	res, _ := e.Evaluate(tr, tk.Corners[0])
-	el, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Corners[0])
+	res, _ := e.Evaluate(tr, tk.Reference())
+	el, _ := (&analysis.Elmore{}).Evaluate(tr, tk.Reference())
 	if res.Rise[near.ID] >= el.Rise[near.ID] {
 		t.Errorf("near sink: transient %v should beat Elmore %v (shielding)",
 			res.Rise[near.ID], el.Rise[near.ID])

@@ -58,18 +58,66 @@ func (c Composite) CapCost() float64 { return c.Cin() + c.Cout() }
 
 func (c Composite) String() string { return fmt.Sprintf("%dx %s", c.N, c.Type.Name) }
 
-// Corner is a supply-voltage process corner. The ISPD'09 contest evaluated
-// the Clock Latency Range between a 1.2 V corner and a 1.0 V corner.
+// Corner is one PVT evaluation scenario: a supply voltage plus optional
+// interconnect derates and a statistical weight. The ISPD'09 contest
+// evaluated the Clock Latency Range between a 1.2 V corner and a 1.0 V
+// corner; richer corner sets (PVT grids, Monte Carlo samples — package
+// corners) add process variation through RDerate/CDerate.
+//
+// The zero values of the new fields mean "no derating, unit weight", so a
+// plain Corner{Name, Vdd} literal keeps its historical meaning exactly.
+// Corner stays comparable (it keys per-corner evaluation caches).
 type Corner struct {
 	Name string
 	Vdd  float64
+
+	// RDerate scales every extracted wire resistance at this corner
+	// (0 means 1.0 — no derating). Process corners with slow interconnect
+	// use values > 1.
+	RDerate float64 `json:",omitempty"`
+	// CDerate scales every extracted capacitance at this corner (0 means
+	// 1.0 — no derating).
+	CDerate float64 `json:",omitempty"`
+	// Weight is the corner's statistical weight for yield and quantile
+	// accounting over Monte Carlo sets (0 means 1.0). It never affects the
+	// deterministic CLR/skew metrics.
+	Weight float64 `json:",omitempty"`
+}
+
+// RScale returns the effective wire-resistance scale (RDerate, with the
+// zero value meaning no derating).
+func (c Corner) RScale() float64 {
+	if c.RDerate == 0 {
+		return 1
+	}
+	return c.RDerate
+}
+
+// CScale returns the effective capacitance scale (CDerate, with the zero
+// value meaning no derating).
+func (c Corner) CScale() float64 {
+	if c.CDerate == 0 {
+		return 1
+	}
+	return c.CDerate
+}
+
+// W returns the corner's statistical weight (the zero value means 1).
+func (c Corner) W() float64 {
+	if c.Weight == 0 {
+		return 1
+	}
+	return c.Weight
 }
 
 // Tech bundles every technology parameter the synthesizer needs.
 type Tech struct {
 	Wires     []WireType     // index 0 is the default (widest) clock wire
 	Inverters []InverterType // available clock inverters
-	Corners   []Corner       // Corners[0] is the fast (reference) corner
+	// Corners are the evaluation scenarios. Corner ROLES (which corner is
+	// the fast reference, which is the worst case) live in RefIdx/WorstIdx;
+	// use Reference/Worst instead of indexing positionally.
+	Corners []Corner
 
 	Vt     float64 // device threshold voltage, V
 	VddRef float64 // voltage at which Rout values are specified, V
@@ -82,6 +130,68 @@ type Tech struct {
 	// by the obstacle detourer (paper Section IV-A Step 2). Derived by
 	// Default45 from the slew limit.
 	SlewSafeCap float64
+
+	// RefIdx and WorstIdx assign corner roles: RefIdx is the fast
+	// (reference) corner, WorstIdx the worst-case (slow) corner. The
+	// legacy zero value — both zero — keeps the historical convention of
+	// "first corner is fast, last corner is slow", so technology literals
+	// that predate corner sets are unaffected. Package corners installs
+	// explicit roles when applying a corner set. Read the roles through
+	// ReferenceIndex/WorstIndex (or Reference/Worst); this defaulting rule
+	// is the single place positional convention survives.
+	RefIdx   int `json:",omitempty"`
+	WorstIdx int `json:",omitempty"`
+
+	// MCSet marks the corner list as a Monte Carlo sample set: the eval
+	// layer then reports yield and latency quantiles over the (weighted)
+	// samples in addition to the deterministic role-based metrics.
+	MCSet bool `json:",omitempty"`
+
+	// CornerSpec records which corner-set spec installed the current
+	// Corners (empty for a native technology model). Corner-set
+	// application is skipped when the spec already matches, which makes
+	// options resolution idempotent: generated sets (pvt5, mc) derive from
+	// the native corner envelope and must never be re-derived from
+	// themselves.
+	CornerSpec string `json:",omitempty"`
+}
+
+// ReferenceIndex returns the index of the fast (reference) corner.
+func (t *Tech) ReferenceIndex() int {
+	if t.RefIdx >= 0 && t.RefIdx < len(t.Corners) {
+		return t.RefIdx
+	}
+	return 0
+}
+
+// WorstIndex returns the index of the worst-case (slow) corner. With the
+// legacy zero-value roles (RefIdx == WorstIdx == 0) it defaults to the
+// last corner, preserving the pre-corner-set convention.
+func (t *Tech) WorstIndex() int {
+	if t.WorstIdx == 0 && t.RefIdx == 0 {
+		return len(t.Corners) - 1
+	}
+	if t.WorstIdx >= 0 && t.WorstIdx < len(t.Corners) {
+		return t.WorstIdx
+	}
+	return len(t.Corners) - 1
+}
+
+// Reference returns the fast (reference) corner — the corner nominal skew
+// and the CLR's "least latency" leg are measured at.
+func (t *Tech) Reference() Corner { return t.Corners[t.ReferenceIndex()] }
+
+// Worst returns the worst-case (slow) corner — the corner the CLR's
+// "greatest latency" leg is measured at.
+func (t *Tech) Worst() Corner { return t.Corners[t.WorstIndex()] }
+
+// Clone returns a copy of the technology model with its own corner slice,
+// so corner-set application never mutates a shared Tech. Wire and inverter
+// tables are immutable in practice and stay shared.
+func (t *Tech) Clone() *Tech {
+	cp := *t
+	cp.Corners = append([]Corner(nil), t.Corners...)
+	return &cp
 }
 
 // Default45 returns the 45 nm technology matching the paper's Table I, with

@@ -182,3 +182,50 @@ func TestKDriveConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestCornerRoles: the zero-value roles preserve the legacy "first fast,
+// last slow" convention; explicit roles override it.
+func TestCornerRoles(t *testing.T) {
+	tk := Default45()
+	if tk.ReferenceIndex() != 0 || tk.WorstIndex() != len(tk.Corners)-1 {
+		t.Errorf("legacy roles wrong: ref=%d worst=%d", tk.ReferenceIndex(), tk.WorstIndex())
+	}
+	if tk.Reference().Name != "fast@1.2V" || tk.Worst().Name != "slow@1.0V" {
+		t.Errorf("role corners wrong: %q / %q", tk.Reference().Name, tk.Worst().Name)
+	}
+	tk.Corners = append(tk.Corners, Corner{Name: "ss@0.9V", Vdd: 0.9})
+	tk.RefIdx, tk.WorstIdx = 0, 2
+	if tk.Worst().Name != "ss@0.9V" {
+		t.Errorf("explicit worst role ignored: %q", tk.Worst().Name)
+	}
+	// Worst explicitly at index 0 with a non-zero reference is honored —
+	// only the both-zero legacy case defaults to the last corner.
+	tk.RefIdx, tk.WorstIdx = 2, 0
+	if tk.WorstIndex() != 0 || tk.Reference().Name != "ss@0.9V" {
+		t.Errorf("inverted roles wrong: ref=%q worstIdx=%d", tk.Reference().Name, tk.WorstIndex())
+	}
+}
+
+// TestCornerScales: zero derates and weight mean exactly 1.0, so legacy
+// Corner literals are unaffected.
+func TestCornerScales(t *testing.T) {
+	c := Corner{Name: "x", Vdd: 1.2}
+	if c.RScale() != 1 || c.CScale() != 1 || c.W() != 1 {
+		t.Errorf("zero-value scales not unity: %v %v %v", c.RScale(), c.CScale(), c.W())
+	}
+	c = Corner{Name: "y", Vdd: 1.0, RDerate: 1.1, CDerate: 0.95, Weight: 2}
+	if c.RScale() != 1.1 || c.CScale() != 0.95 || c.W() != 2 {
+		t.Errorf("explicit scales lost: %v %v %v", c.RScale(), c.CScale(), c.W())
+	}
+}
+
+func TestTechClone(t *testing.T) {
+	tk := Default45()
+	cp := tk.Clone()
+	ri := cp.ReferenceIndex()
+	cp.Corners[ri].Vdd = 9
+	cp.RefIdx = 1
+	if tk.Reference().Vdd == 9 || tk.RefIdx == 1 {
+		t.Error("Clone shares corner state with the original")
+	}
+}

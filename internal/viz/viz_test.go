@@ -51,7 +51,7 @@ func TestWriteSVGBasics(t *testing.T) {
 
 func TestWriteSVGWithSlackGradient(t *testing.T) {
 	tr := testTree()
-	res, err := (&analysis.Elmore{}).Evaluate(tr, tr.Tech.Corners[0])
+	res, err := (&analysis.Elmore{}).Evaluate(tr, tr.Tech.Reference())
 	if err != nil {
 		t.Fatal(err)
 	}
