@@ -18,13 +18,16 @@ import (
 	"contango/internal/core"
 	"contango/internal/corners"
 	"contango/internal/flow"
+	"contango/internal/obs"
 	"contango/internal/service"
 	"contango/internal/store"
 )
 
 func main() {
 	name := flag.String("bench", "ispd09f22", "named benchmark (ispd09f11..fnb1) or path to a .cns file")
-	verbose := flag.Bool("v", false, "log flow progress")
+	verbose := flag.Bool("v", false, "shorthand for -log-level debug (logs flow progress)")
+	logFormat := flag.String("log-format", "text", "diagnostic log format on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "minimum diagnostic log level: debug, info, warn or error")
 	fast := flag.Bool("fast", false, "coarser simulation settings for large instances")
 	large := flag.Bool("large-inverters", false, "use groups of large inverters (TI mode)")
 	svg := flag.String("svg", "", "write the final tree as SVG to this path")
@@ -46,24 +49,34 @@ func main() {
 		}
 		return
 	}
-	if _, err := flow.ResolvePlan(*plan); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	level := *logLevel
+	if *verbose {
+		level = "debug"
 	}
-	if err := corners.Validate(*cornerSpec); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	b, err := loadBench(*name)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fail := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+	if _, err := flow.ResolvePlan(*plan); err != nil {
+		fail(err)
+	}
+	if err := corners.Validate(*cornerSpec); err != nil {
+		fail(err)
+	}
+
+	b, err := loadBench(*name)
+	if err != nil {
+		fail(err)
+	}
 	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval,
 		Plan: *plan, Corners: *cornerSpec}
-	if *verbose {
-		opt.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	if level == "debug" {
+		opt.Log = func(f string, a ...interface{}) { logger.Debug(fmt.Sprintf(f, a...)) }
 	}
 
 	// The durable store is keyed by the same content address the service
@@ -76,22 +89,21 @@ func main() {
 	if *cacheDir != "" {
 		st, err = store.Open(*cacheDir, true)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		key = service.JobKey(b, opt)
 		if data, gerr := st.Get(service.ResultArtifactKey(key)); gerr == nil {
 			if cached, derr := core.DecodeResult(bytes.NewReader(data)); derr == nil {
 				res = cached
-				fmt.Fprintf(os.Stderr, "%s: reusing cached result %s from %s\n", b.Name, key[:12], *cacheDir)
+				logger.Info("reusing cached result",
+					"bench", b.Name, "key", key[:12], "cache_dir", *cacheDir)
 			}
 		}
 	}
 	if res == nil {
 		res, err = core.Synthesize(b, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if st != nil {
 			var buf bytes.Buffer
@@ -100,7 +112,7 @@ func main() {
 				perr = st.Put(service.ResultArtifactKey(key), buf.Bytes())
 			}
 			if perr != nil {
-				fmt.Fprintf(os.Stderr, "warning: result not cached: %v\n", perr)
+				logger.Warn("result not cached", "error", perr.Error())
 			}
 		}
 	}
@@ -108,8 +120,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(service.ResultToWire(res)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 	} else {
 		fmt.Printf("benchmark %s: %d sinks, %d buffers (%v), %d simulator runs, %v\n",
@@ -140,8 +151,7 @@ func main() {
 	}
 	if *svg != "" {
 		if err := writeSVG(res, *svg); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		// Keep stdout pure JSON when -json is set.
 		out := os.Stdout

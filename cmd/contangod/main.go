@@ -10,12 +10,19 @@
 // get a grace period, and whatever is still unfinished is journaled as
 // pending for the next start.
 //
+// Observability: /metrics exposes the service's counters in the
+// Prometheus text format, every job builds a flow trace served as its
+// "trace" artifact, logs are structured (-log-format json flips them to
+// JSON lines), and -debug-addr starts a side listener with the pprof
+// profiling endpoints.
+//
 // Example:
 //
 //	contangod -addr :8080 -workers 4 -data-dir /var/lib/contango &
 //	curl -s localhost:8080/api/v1/jobs -d '{"bench":"ispd09f22"}'
 //	curl -s localhost:8080/api/v1/jobs/job-0001
 //	curl -s localhost:8080/api/v1/jobs/job-0001/artifacts
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,6 +39,7 @@ import (
 
 	"contango/internal/corners"
 	"contango/internal/flow"
+	"contango/internal/obs"
 	"contango/internal/service"
 )
 
@@ -44,38 +53,63 @@ func main() {
 	cornerSpec := flag.String("corners", "", "default PVT corner set for jobs that don't set one (ispd09, pvt5, or mc:<n>:<seed>[:sigmas]; empty = ispd09)")
 	dataDir := flag.String("data-dir", "", "durable storage directory: persists results/logs/SVGs and recovers unfinished jobs across restarts (empty = in-memory only)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period for in-flight jobs")
-	verbose := flag.Bool("v", false, "log job lifecycle to stderr")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "optional side listener with pprof endpoints (/debug/pprof/) and /metrics (e.g. localhost:6060)")
+	verbose := flag.Bool("v", false, "shorthand for -log-level debug (per-job lifecycle detail)")
 	flag.Parse()
 
-	if _, err := flow.ResolvePlan(*plan); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := corners.Validate(*cornerSpec); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue,
-		JobParallelism: *parallel, DefaultPlan: *plan, DefaultCorners: *cornerSpec, DataDir: *dataDir}
-	logf := func(f string, a ...interface{}) {
-		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+f+"\n", a...)
-	}
+	level := *logLevel
 	if *verbose {
-		cfg.Log = logf
+		level = "debug"
 	}
-	svc, err := service.Open(cfg)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fail := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
+	if _, err := flow.ResolvePlan(*plan); err != nil {
+		fail(err)
+	}
+	if err := corners.Validate(*cornerSpec); err != nil {
+		fail(err)
+	}
+	cfg := service.Config{Workers: *workers, CacheEntries: *cache, QueueDepth: *queue,
+		JobParallelism: *parallel, DefaultPlan: *plan, DefaultCorners: *cornerSpec,
+		DataDir: *dataDir, Logger: logger}
+	svc, err := service.Open(cfg)
+	if err != nil {
+		fail(err)
+	}
 	if *dataDir != "" {
-		// Recovery is worth a line even without -v: it explains why a fresh
-		// process may already be running jobs.
-		st := svc.Stats()
-		logf("durable store at %s: recovered %d unfinished job(s) from the journal",
-			*dataDir, st.RecoveredJobs)
+		// Recovery is worth a line even at info level: it explains why a
+		// fresh process may already be running jobs.
+		logger.Info("durable store open",
+			"data_dir", *dataDir,
+			"recovered_jobs", svc.Stats().RecoveredJobs)
 	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
+
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dm.Handle("/metrics", svc.MetricsRegistry().Handler())
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dm); err != nil {
+				logger.Error("debug listener failed", "error", err.Error())
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -83,7 +117,7 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-stop
-		logf("shutting down (grace %v)", *drain)
+		logger.Info("shutting down", "grace", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// HTTP and service drain concurrently: srv.Shutdown blocks on
@@ -102,19 +136,17 @@ func main() {
 		svc.Shutdown(ctx)
 		<-httpDone
 		_ = srv.Close() // drop any streaming connections that outlived the drain
-		if *verbose {
-			st := svc.Stats()
-			logf("final stats: %d jobs (%d completed, %d failed, %d canceled), "+
-				"%d cache hits (%d from disk), %d misses, %d evictions",
-				st.Jobs, st.Completed, st.Failed, st.Canceled,
-				st.CacheHits, st.DiskHits, st.CacheMisses, st.CacheEvictions)
-		}
+		st := svc.Stats()
+		logger.Info("final stats",
+			"jobs", st.Jobs, "completed", st.Completed, "failed", st.Failed,
+			"canceled", st.Canceled, "cache_hits", st.CacheHits, "disk_hits", st.DiskHits,
+			"cache_misses", st.CacheMisses, "cache_evictions", st.CacheEvictions)
 	}()
 
-	logf("contangod listening on %s (%d workers, %d cache entries)", *addr, *workers, *cache)
+	logger.Info("contangod listening",
+		"addr", *addr, "workers", *workers, "cache_entries", *cache)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	// ListenAndServe returns as soon as Shutdown starts; wait for the drain,
 	// pending-job journaling and worker-pool teardown to actually finish.

@@ -65,6 +65,14 @@ type Options struct {
 	FullEval bool
 	// Log receives progress lines when non-nil.
 	Log func(format string, args ...interface{})
+	// SpanHook, when non-nil, brackets instrumented flow phases: it is
+	// called with the phase kind ("pass" for an executed pipeline pass,
+	// "eval" for arming the accurate evaluator) and the phase name when the
+	// phase starts, and the func it returns is called when the phase ends.
+	// The service layer uses it to build per-job flow traces and per-pass
+	// duration histograms. Like Log it is a hook, so it never participates
+	// in result-cache keys.
+	SpanHook func(kind, name string) func()
 }
 
 // defaultCycles is the extra wire-pass convergence budget when unset.

@@ -67,7 +67,18 @@ func runStep(ctx context.Context, s *State, st Step, idx, total int, record bool
 	}
 	s.Progressf("%d/%d %s: start", idx, total, st.Pass)
 	t0 := time.Now()
-	if err := reg.Pass.Run(ctx, s); err != nil {
+	// The span brackets only the pass body: skipped and gated-off passes
+	// never reach here, and a failing pass still closes its span before
+	// the error propagates.
+	var endSpan func()
+	if s.Opts.SpanHook != nil {
+		endSpan = s.Opts.SpanHook("pass", st.Pass)
+	}
+	err := reg.Pass.Run(ctx, s)
+	if endSpan != nil {
+		endSpan()
+	}
+	if err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}

@@ -93,7 +93,18 @@ func (s *State) EnsureEval(ctx context.Context) error {
 	if s.ArmEval == nil {
 		return errors.New("flow: no ArmEval hook installed")
 	}
-	if err := s.ArmEval(ctx, s); err != nil {
+	// Arming runs the first full multi-corner evaluation (the INITIAL
+	// record), which is where a job's corner-evaluation time concentrates —
+	// bracket it so flow traces show it as its own phase.
+	var endSpan func()
+	if s.Opts.SpanHook != nil {
+		endSpan = s.Opts.SpanHook("eval", "corner_eval")
+	}
+	err := s.ArmEval(ctx, s)
+	if endSpan != nil {
+		endSpan()
+	}
+	if err != nil {
 		return err
 	}
 	s.armed = true

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus text exposition (the format WriteText
+// emits — and any other conforming exporter) into a map from sample key
+// to value. A sample key is the metric name with its label set
+// canonicalized to sorted `name{a="x",b="y"}` form (bare `name` without
+// labels). Malformed lines are errors, which is what makes this the
+// parse-check half of the exposition contract: tests feed /metrics output
+// through it and a syntax regression fails loudly instead of scraping
+// garbage.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return "", 0, fmt.Errorf("no metric name in %q", line)
+	}
+	name := line[:nameEnd]
+	if !validMetricName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	labels := ""
+	if rest[0] == '{' {
+		close := findLabelEnd(rest)
+		if close < 0 {
+			return "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = canonLabels(rest[1:close])
+		if err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if i := strings.IndexAny(valStr, " \t"); i >= 0 {
+		valStr = valStr[:i] // a timestamp may follow the value
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad sample value %q", valStr)
+	}
+	if labels != "" {
+		name += "{" + labels + "}"
+	}
+	return name, val, nil
+}
+
+// findLabelEnd locates the closing brace of a label set, honoring quoted
+// values with escapes.
+func findLabelEnd(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// canonLabels validates a raw label body and re-renders it with pairs
+// sorted by label name.
+func canonLabels(body string) (string, error) {
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return "", nil
+	}
+	var pairs []string
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 {
+			return "", fmt.Errorf("bad label pair %q", body)
+		}
+		lname := strings.TrimSpace(body[:eq])
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		rest := strings.TrimSpace(body[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("unquoted label value after %q", lname)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", fmt.Errorf("unterminated label value after %q", lname)
+		}
+		pairs = append(pairs, lname+`=`+rest[:end+1])
+		body = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ","), nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSnapshot caches runtime.ReadMemStats reads: ReadMemStats stops the
+// world, and a registry with a dozen runtime gauges must not pay that once
+// per gauge per scrape (or once per scrape under an aggressive scraper).
+type memSnapshot struct {
+	mu    sync.Mutex
+	taken time.Time
+	ms    runtime.MemStats
+}
+
+func (s *memSnapshot) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.taken) > time.Second {
+		runtime.ReadMemStats(&s.ms)
+		s.taken = time.Now()
+	}
+	return s.ms
+}
+
+// RegisterRuntimeMetrics adds process-level gauges (goroutines, heap and
+// GC memstats) to the registry, the snapshot a /metrics scrape pairs with
+// the -debug-addr pprof listener for deeper digs.
+func RegisterRuntimeMetrics(r *Registry) {
+	snap := &memSnapshot{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(snap.read().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(snap.read().HeapObjects) })
+	r.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.",
+		func() float64 { return float64(snap.read().Sys) })
+	r.GaugeFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(snap.read().TotalAlloc) })
+	r.GaugeFunc("go_memstats_gc_total", "Number of completed GC cycles.",
+		func() float64 { return float64(snap.read().NumGC) })
+	r.GaugeFunc("go_memstats_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(snap.read().PauseTotalNs) / 1e9 })
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight span tree for one unit of work (a synthesis job):
+// a root span covering the whole lifetime with nested child spans for its
+// phases. It is safe for concurrent use, cheap enough to build
+// unconditionally, and exports Chrome trace-event JSON loadable in
+// about:tracing and Perfetto (ChromeJSON) plus a compact top-N summary for
+// wire types (Top).
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one timed phase inside a Trace. End a span with End (or let
+// Trace.Finish close every open span when the work completes).
+type Span struct {
+	t        *Trace
+	name     string
+	start    time.Time
+	end      time.Time // zero while open
+	args     map[string]string
+	children []*Span
+}
+
+// NewTrace starts a trace whose root span is named name and began at
+// start (zero start means now).
+func NewTrace(name string, start time.Time) *Trace {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	t := &Trace{}
+	t.root = &Span{t: t, name: name, start: start}
+	return t
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Child starts a child span named name beginning now. Nil-safe: a nil
+// span returns nil, and every Span method on nil is a no-op, so callers
+// can thread optional traces without guards.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.ChildSpan(name, time.Now(), time.Time{})
+}
+
+// ChildSpan adds a child span with an explicit interval; a zero end leaves
+// it open (End or Trace.Finish closes it). Used for phases measured before
+// the trace existed, like a job's queue wait.
+func (s *Span) ChildSpan(name string, start, end time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{t: s.t, name: name, start: start, end: end}
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// SetArg attaches one key=value annotation to the span.
+func (s *Span) SetArg(k, v string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]string)
+	}
+	s.args[k] = v
+	s.t.mu.Unlock()
+}
+
+// End closes the span now (idempotent).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.t.mu.Unlock()
+}
+
+// Finish closes the root span and every still-open child at now, making
+// the trace ready for export. Safe to call more than once.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var close func(s *Span)
+	close = func(s *Span) {
+		if s.end.IsZero() {
+			s.end = now
+		}
+		for _, c := range s.children {
+			close(c)
+		}
+	}
+	close(t.root)
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
+// and durations are microseconds relative to the root span's start.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders the trace in the Chrome trace-event format (object
+// form, complete "X" events, microsecond timestamps relative to the root),
+// loadable in about:tracing and Perfetto. Open spans are rendered as if
+// they ended at their deepest child's end (call Finish first for exact
+// boundaries).
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := t.root.start
+	var evs []chromeEvent
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		end := s.end
+		if end.IsZero() {
+			end = s.start
+			for _, c := range s.children {
+				if !c.end.IsZero() && c.end.After(end) {
+					end = c.end
+				}
+			}
+		}
+		var args map[string]string
+		if len(s.args) > 0 {
+			args = make(map[string]string, len(s.args))
+			for k, v := range s.args {
+				args[k] = v
+			}
+		}
+		evs = append(evs, chromeEvent{
+			Name: s.name,
+			Cat:  "contango",
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(base)) / float64(time.Microsecond),
+			Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+		for _, c := range s.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return json.MarshalIndent(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// SpanInfo is one row of a trace summary.
+type SpanInfo struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"` // relative to the root span's start
+	DurMs   float64 `json:"dur_ms"`
+}
+
+// Top returns the n longest non-root spans (duration descending; ties by
+// start time), the compact summary wire types embed.
+func (t *Trace) Top(n int) []SpanInfo {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := t.root.start
+	var all []SpanInfo
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for _, c := range s.children {
+			end := c.end
+			if end.IsZero() {
+				end = c.start
+			}
+			all = append(all, SpanInfo{
+				Name:    c.name,
+				StartMs: float64(c.start.Sub(base)) / float64(time.Millisecond),
+				DurMs:   float64(end.Sub(c.start)) / float64(time.Millisecond),
+			})
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].DurMs != all[j].DurMs {
+			return all[i].DurMs > all[j].DurMs
+		}
+		return all[i].StartMs < all[j].StartMs
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceChromeJSON(t *testing.T) {
+	start := time.Now().Add(-100 * time.Millisecond)
+	tr := NewTrace("job-0001", start)
+	root := tr.Root()
+	root.SetArg("benchmark", "tiny")
+	q := root.ChildSpan("queue_wait", start, start.Add(10*time.Millisecond))
+	_ = q
+	p1 := root.Child("pass:tbsz")
+	time.Sleep(2 * time.Millisecond)
+	p1.End()
+	p2 := root.Child("pass:twsz")
+	time.Sleep(time.Millisecond)
+	p2.End()
+	tr.Finish()
+
+	raw, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid trace JSON: %v\n%s", err, raw)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4:\n%s", len(doc.TraceEvents), raw)
+	}
+	rootEv := doc.TraceEvents[0]
+	if rootEv.Name != "job-0001" || rootEv.Ph != "X" || rootEv.Ts != 0 || rootEv.Args["benchmark"] != "tiny" {
+		t.Errorf("bad root event: %+v", rootEv)
+	}
+	// Children are nested inside the root interval with monotonic starts.
+	prevTs := -1.0
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ts < prevTs {
+			t.Errorf("span %s starts at %gus before its predecessor at %gus", ev.Name, ev.Ts, prevTs)
+		}
+		prevTs = ev.Ts
+		if ev.Ts < rootEv.Ts || ev.Ts+ev.Dur > rootEv.Ts+rootEv.Dur+1 {
+			t.Errorf("span %s [%g..%g] escapes root [%g..%g]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, rootEv.Ts, rootEv.Ts+rootEv.Dur)
+		}
+	}
+}
+
+func TestTraceTop(t *testing.T) {
+	start := time.Now()
+	tr := NewTrace("job", start)
+	root := tr.Root()
+	root.ChildSpan("short", start, start.Add(time.Millisecond))
+	root.ChildSpan("long", start.Add(time.Millisecond), start.Add(51*time.Millisecond))
+	root.ChildSpan("medium", start.Add(51*time.Millisecond), start.Add(61*time.Millisecond))
+	tr.Finish()
+	top := tr.Top(2)
+	if len(top) != 2 || top[0].Name != "long" || top[1].Name != "medium" {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].DurMs < 49 || top[0].DurMs > 51 {
+		t.Errorf("long duration = %gms", top[0].DurMs)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var sb strings.Builder
+	lg, err := NewLogger(&sb, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("job done", slog.String("job", "job-0001"), slog.String("plan", "paper"))
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug record leaked past info level")
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if rec["msg"] != "job done" || rec["job"] != "job-0001" || rec["plan"] != "paper" {
+		t.Errorf("bad record: %v", rec)
+	}
+
+	if _, err := NewLogger(&sb, "xml", "info"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(&sb, "text", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}

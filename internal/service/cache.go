@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"contango/internal/core"
+	"contango/internal/obs"
 	"contango/internal/store"
 )
 
@@ -39,8 +40,8 @@ type resultCache struct {
 	items map[string]*list.Element
 	disk  *store.Store // nil = memory only
 
-	misses    int // submissions served by neither tier
-	evictions int // memory demotions (entries remain on disk when a store is attached)
+	misses    *obs.Counter // submissions served by neither tier
+	evictions *obs.Counter // memory demotions (entries remain on disk when a store is attached)
 }
 
 type cacheEntry struct {
@@ -49,13 +50,17 @@ type cacheEntry struct {
 }
 
 // newResultCache returns a cache holding up to max entries in memory
-// (max >= 1), backed by disk when a store is given.
-func newResultCache(max int, disk *store.Store) *resultCache {
+// (max >= 1), backed by disk when a store is given. Misses and evictions
+// count directly into the service's registry counters (nil-safe no-ops
+// when unset).
+func newResultCache(max int, disk *store.Store, misses, evictions *obs.Counter) *resultCache {
 	return &resultCache{
-		max:   max,
-		order: list.New(),
-		items: make(map[string]*list.Element),
-		disk:  disk,
+		max:       max,
+		order:     list.New(),
+		items:     make(map[string]*list.Element),
+		disk:      disk,
+		misses:    misses,
+		evictions: evictions,
 	}
 }
 
@@ -106,9 +111,7 @@ func (c *resultCache) getDisk(key string) (*core.Result, bool) {
 			_ = c.disk.Delete(ResultArtifactKey(key))
 		}
 	}
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -145,7 +148,7 @@ func (c *resultCache) insertLocked(key string, res *core.Result) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -154,13 +157,6 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
-}
-
-// Counters snapshots the miss/eviction counters.
-func (c *resultCache) Counters() (misses, evictions int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.misses, c.evictions
 }
 
 // errNoStore is returned by artifact lookups on a service without DataDir.

@@ -25,11 +25,12 @@ import (
 //	GET    /api/v1/jobs/{id}/log     buffered progress lines -> {lines: []string}
 //	GET    /api/v1/jobs/{id}/svg     rendered clock tree (image/svg+xml)
 //	GET    /api/v1/jobs/{id}/artifacts        persisted artifacts -> {artifacts: [{name,size}]}
-//	GET    /api/v1/jobs/{id}/artifacts/{name} one artifact blob (result|log|svg|job)
+//	GET    /api/v1/jobs/{id}/artifacts/{name} one artifact blob (result|log|svg|job|trace)
 //	GET    /api/v1/jobs/{id}/events  server-sent progress events
 //	GET    /api/v1/benchmarks    named benchmarks -> {benchmarks: []string}
 //	GET    /api/v1/corners       built-in PVT corner sets -> {corners: []corners.Info}
 //	GET    /api/v1/stats         service counters -> Stats
+//	GET    /metrics              Prometheus text exposition of the same counters
 //	GET    /healthz              liveness probe
 type Server struct {
 	svc *Service
@@ -45,7 +46,12 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("/api/v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("/api/v1/corners", s.handleCorners)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", svc.MetricsRegistry().Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
@@ -163,24 +169,40 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
+	// Known sub-endpoints with the wrong method answer 405 (with the
+	// allowed set), not 404 — only genuinely unknown paths are 404s.
+	get := func(serve func()) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		serve()
+	}
 	switch {
-	case sub == "" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, j.Wire())
-	case sub == "" && r.Method == http.MethodDelete:
-		j.Cancel()
-		writeJSON(w, http.StatusOK, j.Wire())
-	case sub == "result" && r.Method == http.MethodGet:
-		s.serveResult(w, j)
-	case sub == "log" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]interface{}{"lines": j.Logs()})
-	case sub == "svg" && r.Method == http.MethodGet:
-		s.serveSVG(w, j)
-	case sub == "artifacts" && r.Method == http.MethodGet:
-		s.serveArtifactList(w, j)
-	case strings.HasPrefix(sub, "artifacts/") && r.Method == http.MethodGet:
-		s.serveArtifact(w, j, strings.TrimPrefix(sub, "artifacts/"))
-	case sub == "events" && r.Method == http.MethodGet:
-		s.serveEvents(w, r, j)
+	case sub == "":
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, j.Wire())
+		case http.MethodDelete:
+			j.Cancel()
+			writeJSON(w, http.StatusOK, j.Wire())
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		}
+	case sub == "result":
+		get(func() { s.serveResult(w, j) })
+	case sub == "log":
+		get(func() { writeJSON(w, http.StatusOK, map[string]interface{}{"lines": j.Logs()}) })
+	case sub == "svg":
+		get(func() { s.serveSVG(w, j) })
+	case sub == "artifacts":
+		get(func() { s.serveArtifactList(w, j) })
+	case strings.HasPrefix(sub, "artifacts/"):
+		get(func() { s.serveArtifact(w, j, strings.TrimPrefix(sub, "artifacts/")) })
+	case sub == "events":
+		get(func() { s.serveEvents(w, r, j) })
 	default:
 		writeError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
 	}
@@ -222,6 +244,7 @@ var artifactContentTypes = map[string]string{
 	artJob:    "application/json",
 	artLog:    "text/plain; charset=utf-8",
 	artSVG:    "image/svg+xml",
+	artTrace:  "application/json",
 }
 
 // serveArtifact streams one persisted artifact blob.
@@ -232,6 +255,14 @@ func (s *Server) serveArtifact(w http.ResponseWriter, j *Job, name string) {
 		return
 	}
 	data, err := s.svc.Artifact(j.Key(), name)
+	if err != nil && name == artTrace && (errors.Is(err, errNoStore) || errors.Is(err, store.ErrNotFound)) {
+		// Traces exist in memory for every finished job of this process
+		// (cache hits, failures, in-memory services) even though only
+		// executed runs persist one.
+		if mem, merr := j.TraceJSON(); merr == nil && mem != nil {
+			data, err = mem, nil
+		}
+	}
 	switch {
 	case err == nil:
 		w.Header().Set("Content-Type", artifactContentTypes[name])

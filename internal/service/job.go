@@ -9,6 +9,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/obs"
 )
 
 // State is a job's lifecycle phase.
@@ -44,6 +45,12 @@ type Job struct {
 	benchmark *bench.Benchmark
 	opts      core.Options
 	submitted time.Time
+	enqueued  time.Time // when the job entered the worker queue
+	// planLabel and cornersLabel identify the job in metrics label sets and
+	// structured log records (defaults spelled out, so an unset plan reads
+	// as "paper" rather than "").
+	planLabel    string
+	cornersLabel string
 	// durable marks jobs whose spec was persisted to the store: only their
 	// lifecycle transitions are journaled — a journal record without a
 	// spec could never be recovered and would nag every restart.
@@ -57,7 +64,8 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	cacheHit  bool
-	cacheTier cacheTier // which tier served a cache hit ("" otherwise)
+	cacheTier cacheTier  // which tier served a cache hit ("" otherwise)
+	trace     *obs.Trace // span tree of the job's lifecycle (set at finish)
 	result    *core.Result
 	err       error
 	logs      []string
@@ -270,6 +278,20 @@ func (j *Job) SVG() ([]byte, error) {
 		j.svc.putArtifact(j.key, artSVG, j.svgData)
 	})
 	return j.svgData, j.svgErr
+}
+
+// Trace returns the job's span tree, available once the job reached a
+// terminal state (nil before that).
+func (j *Job) Trace() *obs.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// TraceJSON renders the job's trace in the Chrome trace-event format, or
+// (nil, nil) while the job is still running.
+func (j *Job) TraceJSON() ([]byte, error) {
+	return j.Trace().ChromeJSON()
 }
 
 // Elapsed returns how long the job ran (so far, if still running).

@@ -31,10 +31,11 @@ const (
 	artLog    = "log"    // the job's progress log, one line per row
 	artSVG    = "svg"    // rendered clock tree (written lazily on first render)
 	artJob    = "job"    // the jobSpec that reproduces the submission
+	artTrace  = "trace"  // Chrome trace-event JSON of the executed run's flow
 )
 
 // ArtifactNames lists the artifact kinds a durable job may have.
-func ArtifactNames() []string { return []string{artResult, artLog, artSVG, artJob} }
+func ArtifactNames() []string { return []string{artResult, artLog, artSVG, artJob, artTrace} }
 
 // ArtifactInfo describes one persisted artifact of a job.
 type ArtifactInfo struct {
@@ -158,9 +159,7 @@ func (s *Service) recoverJournal(recs []store.Record) {
 			s.logf("recovery: job %s (%s) already finished on disk", j.ID(), b.Name)
 			continue
 		}
-		s.mu.Lock()
-		s.stats.RecoveredJobs++
-		s.mu.Unlock()
+		s.metrics.recovered.Inc()
 		s.logf("recovery: re-queued job %s (%s, %s)", j.ID(), b.Name, shortKey(r.Key))
 	}
 }

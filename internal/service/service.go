@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"contango/internal/core"
 	"contango/internal/corners"
 	"contango/internal/flow"
+	"contango/internal/obs"
 	"contango/internal/store"
 )
 
@@ -69,6 +71,17 @@ type Config struct {
 	// finished, cache hits, recovery). Per-job progress goes to the job's
 	// own log.
 	Log func(format string, args ...interface{})
+	// Logger, when non-nil, receives structured job-lifecycle records
+	// (queued, running, cache hit, finished, failed, canceled) carrying
+	// job-ID, benchmark, plan, corner-set and cache-tier attributes. When
+	// only Logger is set, the printf-style lifecycle lines above are emitted
+	// through it at debug level, so one handler sees everything.
+	Logger *slog.Logger
+	// Registry, when non-nil, is the metrics registry the service registers
+	// its families on (default: a fresh private registry). Every service
+	// counter lives in it — Stats and the Prometheus exposition are two
+	// renderings of the same registers.
+	Registry *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -131,9 +144,10 @@ type Stats struct {
 type Service struct {
 	cfg       Config
 	queue     chan *Job
-	cache     *resultCache   // nil when caching is disabled
-	st        *store.Store   // nil without DataDir
-	jnl       *store.Journal // nil without DataDir
+	cache     *resultCache    // nil when caching is disabled
+	st        *store.Store    // nil without DataDir
+	jnl       *store.Journal  // nil without DataDir
+	metrics   *serviceMetrics // all service counters (single source of truth)
 	wg        sync.WaitGroup
 	queueOnce sync.Once // guards close(s.queue) across Close/Shutdown
 
@@ -144,7 +158,6 @@ type Service struct {
 	jobs     map[string]*Job // by ID
 	order    []*Job          // submission order
 	inflight map[string]*Job // by content key, queued or running
-	stats    Stats
 }
 
 // Open starts a Service. With cfg.DataDir set it opens the durable store
@@ -161,6 +174,11 @@ func Open(cfg Config) (*Service, error) {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newServiceMetrics(reg, s)
 	var recovered []store.Record
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, !cfg.NoFsync)
@@ -171,11 +189,13 @@ func Open(cfg Config) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.SetMetrics(s.metrics.storeMetrics)
+		jnl.SetMetrics(s.metrics.storeMetrics)
 		s.st, s.jnl = st, jnl
 		recovered = recs
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newResultCache(cfg.CacheEntries, s.st)
+		s.cache = newResultCache(cfg.CacheEntries, s.st, s.metrics.cacheMisses, s.metrics.cacheEvictions)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -200,8 +220,32 @@ func New(cfg Config) *Service {
 func (s *Service) logf(format string, args ...interface{}) {
 	if s.cfg.Log != nil {
 		s.cfg.Log(format, args...)
+	} else if s.cfg.Logger != nil {
+		s.cfg.Logger.Debug(fmt.Sprintf(format, args...))
 	}
 }
+
+// logJob emits one structured job-lifecycle record through Config.Logger
+// with the job's identifying attributes attached.
+func (s *Service) logJob(j *Job, msg string, attrs ...slog.Attr) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	base := []slog.Attr{
+		slog.String("job", j.id),
+		slog.String("bench", j.benchmark.Name),
+		slog.String("plan", j.planLabel),
+		slog.String("corners", j.cornersLabel),
+	}
+	if tier := j.CacheTier(); tier != "" {
+		base = append(base, slog.String("cache_tier", tier))
+	}
+	s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, append(base, attrs...)...)
+}
+
+// MetricsRegistry returns the registry holding the service's metric
+// families — the backing state of both Stats and the /metrics exposition.
+func (s *Service) MetricsRegistry() *obs.Registry { return s.metrics.reg }
 
 // Submit enqueues one synthesis run and returns its Job immediately.
 // Submissions dedupe by content: if the identical run (same benchmark
@@ -232,18 +276,21 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	key := JobKey(b, o)
+	lookupStart := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	s.stats.Submitted++
 
 	// In-flight coalescing: an identical queued/running job serves this
-	// submission too.
+	// submission too. Counters are monotonic registers, so submissions count
+	// only at the points where they are actually accepted — rejected ones
+	// (closed service, full queue) never touch them.
 	if live, ok := s.inflight[key]; ok {
-		s.stats.Coalesced++
+		s.metrics.submitted.Inc()
+		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
 		return live, nil
 	}
@@ -252,7 +299,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	// atomic with the in-flight map.
 	if s.cache != nil {
 		if res, ok := s.cache.getMemory(key); ok {
-			j := s.finishCacheHitLocked(b, o, key, res, tierMemory)
+			j := s.finishCacheHitLocked(b, o, key, res, tierMemory, lookupStart)
 			s.mu.Unlock()
 			s.logCacheHit(j)
 			return j, nil
@@ -285,7 +332,6 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 
 	s.mu.Lock()
 	if s.closed {
-		s.stats.Submitted--
 		s.mu.Unlock()
 		if durable {
 			s.journal("canceled", key)
@@ -295,7 +341,8 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	if live, ok := s.inflight[key]; ok {
 		// Same key: the live job's own lifecycle records resolve the
 		// "submitted" we may just have appended.
-		s.stats.Coalesced++
+		s.metrics.submitted.Inc()
+		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
 		return live, nil
 	}
@@ -307,7 +354,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	// result into memory, and the submission was genuinely disk-served.)
 	if diskRes == nil && s.cache != nil {
 		if res, ok := s.cache.getMemory(key); ok {
-			j := s.finishCacheHitLocked(b, o, key, res, tierMemory)
+			j := s.finishCacheHitLocked(b, o, key, res, tierMemory, lookupStart)
 			s.mu.Unlock()
 			s.logCacheHit(j)
 			if durable {
@@ -320,7 +367,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	}
 	if diskRes != nil {
 		// A result some earlier process computed and persisted.
-		j := s.finishCacheHitLocked(b, o, key, diskRes, tierDisk)
+		j := s.finishCacheHitLocked(b, o, key, diskRes, tierDisk, lookupStart)
 		s.mu.Unlock()
 		s.logCacheHit(j)
 		// Converge the journal: if a crash lost the original "finished"
@@ -332,58 +379,74 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	}
 
 	j := &Job{
-		id:        fmt.Sprintf("job-%04d", s.seq+1),
-		key:       key,
-		benchmark: b,
-		opts:      o,
-		submitted: time.Now(),
-		durable:   durable,
-		svc:       s,
-		state:     Queued,
-		done:      make(chan struct{}),
+		id:           fmt.Sprintf("job-%04d", s.seq+1),
+		key:          key,
+		benchmark:    b,
+		opts:         o,
+		planLabel:    planLabel(o.Plan),
+		cornersLabel: cornersLabel(o.Corners),
+		submitted:    lookupStart,
+		enqueued:     time.Now(),
+		durable:      durable,
+		svc:          s,
+		state:        Queued,
+		done:         make(chan struct{}),
 	}
 	s.seq++
 	select {
 	case s.queue <- j:
 	default:
-		s.stats.Submitted--
 		s.mu.Unlock()
 		if durable {
 			s.journal("canceled", key)
 		}
 		return nil, ErrQueueFull
 	}
+	s.metrics.submitted.Inc()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.inflight[key] = j
 	s.mu.Unlock()
 	s.logf("job %s: queued %s (%d sinks)", j.id, b.Name, len(b.Sinks))
+	s.logJob(j, "job queued", slog.Int("sinks", len(b.Sinks)))
 	return j, nil
 }
 
 // finishCacheHitLocked registers a submission served from the result cache
 // as an instantly completed job. Called with s.mu held; the caller logs
 // (logCacheHit) after releasing the lock.
-func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key string, res *core.Result, tier cacheTier) *Job {
+func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key string, res *core.Result, tier cacheTier, lookupStart time.Time) *Job {
 	j := &Job{
-		id:        fmt.Sprintf("job-%04d", s.seq+1),
-		key:       key,
-		benchmark: b,
-		opts:      o,
-		submitted: time.Now(),
-		svc:       s,
-		state:     Queued,
-		done:      make(chan struct{}),
+		id:           fmt.Sprintf("job-%04d", s.seq+1),
+		key:          key,
+		benchmark:    b,
+		opts:         o,
+		planLabel:    planLabel(o.Plan),
+		cornersLabel: cornersLabel(o.Corners),
+		submitted:    lookupStart,
+		svc:          s,
+		state:        Queued,
+		done:         make(chan struct{}),
 	}
 	s.seq++
-	s.stats.CacheHits++
-	if tier == tierDisk {
-		s.stats.DiskHits++
-	}
-	s.stats.Completed++
+	s.metrics.submitted.Inc()
+	s.metrics.cacheHits.With(string(tier)).Inc()
+	s.metrics.completed.With(j.planLabel, j.cornersLabel).Inc()
 	j.cacheHit = true
 	j.cacheTier = tier
 	j.started = j.submitted
+	// Cache-hit jobs get a minimal in-memory trace (the whole lifetime was
+	// the cache lookup). It is never persisted: the executed job's artifact
+	// under the same key already holds the real flow trace.
+	tr := obs.NewTrace(j.id, j.submitted)
+	root := tr.Root()
+	root.SetArg("benchmark", b.Name)
+	root.SetArg("plan", j.planLabel)
+	root.SetArg("corners", j.cornersLabel)
+	root.SetArg("cache_tier", string(tier))
+	root.ChildSpan("cache_lookup", j.submitted, time.Now())
+	tr.Finish()
+	j.trace = tr
 	j.mu.Lock()
 	j.finishLocked(Done, res, nil)
 	j.mu.Unlock()
@@ -395,6 +458,7 @@ func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key s
 func (s *Service) logCacheHit(j *Job) {
 	j.appendLog(fmt.Sprintf("%s: served from result cache (%s)", j.benchmark.Name, j.cacheTier))
 	s.logf("job %s: %s cache hit for %s", j.id, j.cacheTier, j.benchmark.Name)
+	s.logJob(j, "job served from cache")
 }
 
 // SubmitBatch submits every request, returning one Job per request in
@@ -453,17 +517,31 @@ func (s *Service) Jobs() []*Job {
 	return out
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters. The counters are read
+// from the metrics registry — the same registers the Prometheus exposition
+// at /metrics renders — so the two surfaces cannot drift.
 func (s *Service) Stats() Stats {
+	m := s.metrics
+	st := Stats{
+		Submitted:      int(m.submitted.Value()),
+		Coalesced:      int(m.coalesced.Value()),
+		CacheHits:      int(m.cacheHits.Total()),
+		CacheMisses:    int(m.cacheMisses.Value()),
+		CacheEvictions: int(m.cacheEvictions.Value()),
+		DiskHits:       int(m.cacheHits.With(string(tierDisk)).Value()),
+		RecoveredJobs:  int(m.recovered.Value()),
+		Completed:      int(m.completed.Total()),
+		Failed:         int(m.failed.Total()),
+		Canceled:       int(m.canceled.Total()),
+		SimRuns:        int(m.simRuns.Value()),
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
 	st.Workers = s.cfg.Workers
 	st.QueueLen = len(s.queue)
 	st.Jobs = len(s.jobs)
+	s.mu.Unlock()
 	if s.cache != nil {
 		st.CacheEntries = s.cache.Len()
-		st.CacheMisses, st.CacheEvictions = s.cache.Counters()
 	}
 	return st
 }
@@ -560,12 +638,29 @@ func (s *Service) run(j *Job) {
 	if o.Parallelism == 0 {
 		o.Parallelism = s.cfg.JobParallelism
 	}
+	started := j.started
 	j.mu.Unlock()
 	defer cancel()
 	if j.durable {
 		s.journal("started", j.key)
 	}
 	s.logf("job %s: running %s", j.id, j.benchmark.Name)
+	s.logJob(j, "job running")
+
+	// The job's flow trace: a root span over the whole submit→terminal
+	// lifetime with children for the submit-time cache lookup, the queue
+	// wait, each executed flow pass (via the SpanHook below), the accurate
+	// evaluator arming, and result persistence.
+	tr := obs.NewTrace(j.id, j.submitted)
+	root := tr.Root()
+	root.SetArg("benchmark", j.benchmark.Name)
+	root.SetArg("plan", j.planLabel)
+	root.SetArg("corners", j.cornersLabel)
+	root.SetArg("key", j.key)
+	if !j.enqueued.IsZero() {
+		root.ChildSpan("cache_lookup", j.submitted, j.enqueued)
+		root.ChildSpan("queue_wait", j.enqueued, started)
+	}
 
 	// Fan the flow's progress lines into the job's own log (and through to
 	// any Log hook the submitter installed).
@@ -574,6 +669,37 @@ func (s *Service) run(j *Job) {
 		j.appendLog(fmt.Sprintf(format, args...))
 		if userLog != nil {
 			userLog(format, args...)
+		}
+	}
+	// Bracket instrumented flow phases: each executed pass (and the
+	// evaluator arming) becomes a child span on the trace and an observation
+	// in the per-pass duration histogram. A submitter-installed hook still
+	// sees every phase.
+	userSpan := o.SpanHook
+	o.SpanHook = func(kind, name string) func() {
+		spanName := name
+		if kind == "pass" {
+			spanName = "pass:" + name
+		}
+		sp := root.Child(spanName)
+		t0 := time.Now()
+		var userEnd func()
+		if userSpan != nil {
+			userEnd = userSpan(kind, name)
+		}
+		return func() {
+			sp.End()
+			d := time.Since(t0).Seconds()
+			switch kind {
+			case "pass":
+				s.metrics.passes.With(name).Inc()
+				s.metrics.passDur.With(name).Observe(d)
+			case "eval":
+				s.metrics.evalDur.Observe(d)
+			}
+			if userEnd != nil {
+				userEnd()
+			}
 		}
 	}
 
@@ -594,21 +720,38 @@ func (s *Service) run(j *Job) {
 	// guaranteed to hit the cache — and, on a durable service, a process
 	// restarted after Wait returned is guaranteed a disk hit.
 	if st == Done && res != nil {
+		sp := root.Child("persist")
 		if s.cache != nil {
 			if derr := s.cache.Add(j.key, res); derr != nil {
 				s.logf("job %s: result not persisted: %v", j.id, derr)
 			}
 		}
 		s.persistJobLog(j)
+		sp.End()
+	}
+	// Close the trace and persist it alongside the job's other artifacts
+	// before waiters observe completion, so a restart (or another process
+	// sharing the data dir) can serve the executed run's trace. Cache-hit
+	// jobs never reach here and never overwrite it.
+	tr.Finish()
+	if st == Done {
+		if data, terr := tr.ChromeJSON(); terr == nil {
+			s.putArtifact(j.key, artTrace, data)
+		}
 	}
 	s.jobFinished(j, st, res)
 	j.mu.Lock()
+	j.trace = tr
 	j.finishLocked(st, res, err)
 	j.mu.Unlock()
 	if err != nil {
 		s.logf("job %s: %s (%v)", j.id, st, err)
+		s.logJob(j, "job "+string(st), slog.String("error", err.Error()))
 	} else {
 		s.logf("job %s: done in %v, %d runs, %s", j.id, j.Elapsed().Round(time.Millisecond), res.Runs, res.Final)
+		s.logJob(j, "job finished",
+			slog.Duration("elapsed", j.Elapsed()),
+			slog.Int("sim_runs", res.Runs))
 	}
 }
 
@@ -627,16 +770,10 @@ func (s *Service) jobFinished(j *Job, st State, res *core.Result) {
 	}
 	switch st {
 	case Done:
-		s.stats.Completed++
-		if res != nil {
-			s.stats.SimRuns += res.Runs
-		}
 		kind = "finished"
 	case Failed:
-		s.stats.Failed++
 		kind = "failed"
 	case Canceled:
-		s.stats.Canceled++
 		if s.draining {
 			// Shutdown interrupted this job; the next Open re-queues it.
 			kind = "pending"
@@ -645,6 +782,17 @@ func (s *Service) jobFinished(j *Job, st State, res *core.Result) {
 		}
 	}
 	s.mu.Unlock()
+	switch st {
+	case Done:
+		s.metrics.completed.With(j.planLabel, j.cornersLabel).Inc()
+		if res != nil {
+			s.metrics.observeResult(res)
+		}
+	case Failed:
+		s.metrics.failed.With(j.planLabel, j.cornersLabel).Inc()
+	case Canceled:
+		s.metrics.canceled.With(j.planLabel, j.cornersLabel).Inc()
+	}
 	if j.durable && kind != "" {
 		s.journal(kind, j.key)
 	}

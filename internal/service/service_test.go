@@ -15,6 +15,7 @@ import (
 	"contango/internal/dme"
 	"contango/internal/flow"
 	"contango/internal/geom"
+	"contango/internal/obs"
 	"contango/internal/spice"
 )
 
@@ -409,7 +410,8 @@ func TestJobKeyCanonicalization(t *testing.T) {
 }
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2, nil)
+	missCtr, evictCtr := &obs.Counter{}, &obs.Counter{}
+	c := newResultCache(2, nil, missCtr, evictCtr)
 	r1, r2, r3 := &core.Result{}, &core.Result{}, &core.Result{}
 	mustAdd := func(k string, r *core.Result) {
 		if err := c.Add(k, r); err != nil {
@@ -434,11 +436,10 @@ func TestResultCacheLRU(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
-	misses, evictions := c.Counters()
-	if evictions != 1 {
+	if evictions := evictCtr.Value(); evictions != 1 {
 		t.Errorf("evictions = %d, want 1", evictions)
 	}
-	if misses != 1 { // the Get("b") after eviction
+	if misses := missCtr.Value(); misses != 1 { // the Get("b") after eviction
 		t.Errorf("misses = %d, want 1", misses)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"contango/internal/core"
 	"contango/internal/eval"
 	"contango/internal/flow"
+	"contango/internal/obs"
 )
 
 // MetricsWire is eval.Metrics with explicit units in the field names.
@@ -146,6 +147,10 @@ type JobWire struct {
 	Result     *ResultWire `json:"result,omitempty"`
 	LogLines   int         `json:"log_lines"`
 	LogDropped int         `json:"log_dropped,omitempty"`
+	// TraceSummary lists the finished job's longest trace spans (queue wait,
+	// flow passes, evaluator arming, persistence). The full span tree is the
+	// "trace" artifact in Chrome trace-event format.
+	TraceSummary []obs.SpanInfo `json:"trace_summary,omitempty"`
 }
 
 // Wire snapshots the job's status for the API. Results are included only
@@ -177,6 +182,7 @@ func (j *Job) Wire() *JobWire {
 	if j.err != nil {
 		w.Error = j.err.Error()
 	}
+	w.TraceSummary = j.trace.Top(5)
 	return w
 }
 

@@ -42,11 +42,13 @@ func (r Record) Terminal() bool {
 // object store), so the journal stays proportional to the number of
 // unfinished jobs, not the number of jobs ever processed.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	sync bool
-	seq  uint64
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	sync      bool
+	seq       uint64
+	compacted int      // records dropped by the open-time compaction
+	metrics   *Metrics // optional observability counters (SetMetrics)
 }
 
 // maxFrame bounds a journal frame; anything larger is treated as
@@ -123,7 +125,8 @@ func OpenJournal(path string, sync bool) (*Journal, []Record, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	j := &Journal{f: out, path: path, sync: sync, seq: uint64(len(compacted))}
+	j := &Journal{f: out, path: path, sync: sync, seq: uint64(len(compacted)),
+		compacted: len(recs) - len(compacted), metrics: &Metrics{}}
 	return j, compacted, nil
 }
 
@@ -183,6 +186,7 @@ func (j *Journal) Append(kind, key string) (Record, error) {
 			return Record{}, fmt.Errorf("store: journal sync: %w", err)
 		}
 	}
+	j.metrics.JournalAppends.Inc()
 	return r, nil
 }
 

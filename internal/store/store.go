@@ -63,8 +63,9 @@ func (e *corruptError) Is(target error) bool {
 // naming the artifact kind, e.g. "ab12….result". Methods are safe for
 // concurrent use.
 type Store struct {
-	dir  string
-	sync bool // fsync files and directories on write
+	dir     string
+	sync    bool     // fsync files and directories on write
+	metrics *Metrics // optional observability counters (SetMetrics)
 
 	mu          sync.Mutex
 	quarantined int
@@ -91,7 +92,7 @@ func Open(dir string, sync bool) (*Store, error) {
 			}
 		}
 	}
-	return &Store{dir: dir, sync: sync}, nil
+	return &Store{dir: dir, sync: sync, metrics: &Metrics{}}, nil
 }
 
 // staleTmpAge is how old a tmp/ staging file must be before Open treats it
@@ -171,6 +172,8 @@ func (s *Store) Put(key string, data []byte) error {
 			return err
 		}
 	}
+	s.metrics.Writes.Inc()
+	s.metrics.WriteBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -193,6 +196,8 @@ func (s *Store) Get(key string) ([]byte, error) {
 		s.quarantine(key)
 		return nil, &corruptError{why: fmt.Sprintf("%s: %s", key, why)}
 	}
+	s.metrics.Reads.Inc()
+	s.metrics.ReadBytes.Add(int64(len(data)))
 	return data, nil
 }
 
@@ -228,6 +233,7 @@ func (s *Store) quarantine(key string) {
 	s.mu.Lock()
 	s.quarantined++
 	s.mu.Unlock()
+	s.metrics.Quarantines.Inc()
 }
 
 // Quarantined returns how many blobs this Store instance moved to
