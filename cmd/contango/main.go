@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"contango/internal/bench"
 	"contango/internal/core"
@@ -40,6 +41,7 @@ func main() {
 	cornerSpec := flag.String("corners", "", "PVT corner set: "+strings.Join(corners.Names(), ", ")+
 		", or 'mc:<n>:<seed>[:vsigma[:rsigma[:csigma]]]' for Monte Carlo variation samples")
 	cacheDir := flag.String("cache-dir", "", "durable result store to reuse prior results from and persist this run's result to (shareable with contangod -data-dir)")
+	deadline := flag.Duration("deadline", 0, "soft wall-clock deadline for the run; reported as met or missed on stderr, never kills the run (0 = none)")
 	flag.Parse()
 
 	if *listPlans {
@@ -83,6 +85,7 @@ func main() {
 	// uses (JobKey excludes hooks and parallelism), so the one-shot CLI,
 	// repeated invocations of itself and a contangod sharing the directory
 	// all reuse each other's finished results.
+	started := time.Now()
 	var st *store.Store
 	var key string
 	var res *core.Result
@@ -114,6 +117,15 @@ func main() {
 			if perr != nil {
 				logger.Warn("result not cached", "error", perr.Error())
 			}
+		}
+	}
+	// The deadline is soft, exactly as in the service scheduler: a miss is
+	// reported, never enforced by killing the synthesis.
+	if *deadline > 0 {
+		if wall := time.Since(started); wall > *deadline {
+			logger.Warn("deadline missed", "deadline", deadline.String(), "elapsed", wall.Round(time.Millisecond).String())
+		} else {
+			logger.Info("deadline met", "deadline", deadline.String(), "elapsed", wall.Round(time.Millisecond).String())
 		}
 	}
 	if *jsonOut {

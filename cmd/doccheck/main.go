@@ -1,0 +1,117 @@
+// Command doccheck enforces the repo's godoc floor: every package must
+// carry a package comment. Library packages need a comment starting with
+// the canonical "Package <name>" prefix in at least one non-test file;
+// main packages (commands) need any doc comment — by convention here a
+// "Command <name>" paragraph describing the binary. Test files are
+// exempt, matching godoc, which never renders them.
+//
+// It is wired into the CI lint job next to gofmt and go vet:
+//
+//	go run ./cmd/doccheck ./...
+//
+// With no arguments it checks the current directory tree. Exits nonzero
+// listing every undocumented package.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	bad := 0
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		if root == "" {
+			root = "."
+		}
+		for _, msg := range check(root) {
+			fmt.Fprintln(os.Stderr, msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented package(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// pkgDocs accumulates what the checker saw of one directory's package.
+type pkgDocs struct {
+	name       string // package clause name (last file parsed wins; uniform in valid packages)
+	documented bool   // some non-test file carries an acceptable doc comment
+	files      int    // non-test .go files seen
+}
+
+// check walks root and returns one message per undocumented package.
+func check(root string) []string {
+	pkgs := map[string]*pkgDocs{} // directory -> findings
+	fset := token.NewFileSet()
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Hidden trees and testdata are not part of the build.
+			if name := d.Name(); path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		// The package clause and its doc comment are all we need; skipping
+		// function bodies keeps the walk cheap on large trees.
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return nil // the build (not doccheck) owns syntax errors
+		}
+		dir := filepath.Dir(path)
+		p := pkgs[dir]
+		if p == nil {
+			p = &pkgDocs{}
+			pkgs[dir] = p
+		}
+		p.name = f.Name.Name
+		p.files++
+		if f.Doc == nil {
+			return nil
+		}
+		text := strings.TrimSpace(f.Doc.Text())
+		if p.name == "main" {
+			p.documented = p.documented || text != ""
+		} else {
+			p.documented = p.documented || strings.HasPrefix(text, "Package "+p.name+" ")
+		}
+		return nil
+	})
+
+	var dirs []string
+	for dir, p := range pkgs {
+		if p.files > 0 && !p.documented {
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	msgs := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		p := pkgs[dir]
+		want := fmt.Sprintf("a doc comment starting %q", "Package "+p.name)
+		if p.name == "main" {
+			want = "a doc comment describing the command"
+		}
+		msgs = append(msgs, fmt.Sprintf("%s: package %s has no package comment (want %s in a non-test file)", dir, p.name, want))
+	}
+	return msgs
+}

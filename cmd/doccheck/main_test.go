@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFlagsUndocumentedPackage(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n")
+	// A comment that does not carry the canonical prefix does not count.
+	write(t, filepath.Join(dir, "wrongprefix", "w.go"), "// helpers live here\npackage wrongprefix\n")
+
+	msgs := check(dir)
+	if len(msgs) != 2 {
+		t.Fatalf("check() = %d findings %v, want 2", len(msgs), msgs)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"package bad", "package wrongprefix"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings %q missing %q", joined, want)
+		}
+	}
+	if strings.Contains(joined, "package good") {
+		t.Errorf("documented package flagged: %q", joined)
+	}
+}
+
+func TestCheckDocInAnyNonTestFileSuffices(t *testing.T) {
+	dir := t.TempDir()
+	// The doc comment may live in any file of the package, and test files
+	// are exempt both as doc carriers and from the requirement.
+	write(t, filepath.Join(dir, "p", "impl.go"), "package p\n")
+	write(t, filepath.Join(dir, "p", "doc.go"), "// Package p holds the doc.\npackage p\n")
+	write(t, filepath.Join(dir, "q", "q_test.go"), "package q\n")
+	if msgs := check(dir); len(msgs) != 0 {
+		t.Fatalf("check() = %v, want none", msgs)
+	}
+}
+
+func TestCheckMainPackageNeedsAnyDoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "cmdok", "main.go"), "// Command cmdok does things.\npackage main\n")
+	write(t, filepath.Join(dir, "cmdbad", "main.go"), "package main\n")
+	msgs := check(dir)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "cmdbad") {
+		t.Fatalf("check() = %v, want one finding for cmdbad", msgs)
+	}
+}
+
+func TestRepoIsFullyDocumented(t *testing.T) {
+	// The gate CI runs: the repo's own tree must stay clean.
+	if msgs := check("../.."); len(msgs) != 0 {
+		t.Fatalf("repo has undocumented packages:\n%s", strings.Join(msgs, "\n"))
+	}
+}

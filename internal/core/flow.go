@@ -108,6 +108,12 @@ func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Res
 			inc = spice.NewIncremental(s.Tree, o.Engine, o.Parallelism)
 			cne = inc
 		}
+		if o.WrapEval != nil {
+			// Scheduling shims (corner chunking with cooperative slot
+			// yields) wrap the evaluator here; they must not change what is
+			// evaluated, only when.
+			cne = o.WrapEval(cne)
+		}
 		s.Opt = &opt.Context{
 			Tree: s.Tree, Eng: cne, Obs: s.Obs, CapLimit: b.CapLimit,
 			MaxRounds: o.MaxRounds, Parallelism: o.Parallelism,

@@ -175,6 +175,27 @@ func (sp spec) String() string {
 // listed by its grammar elsewhere).
 func Names() []string { return []string{DefaultName, "pvt5"} }
 
+// Cardinality returns how many corners a spec evaluates per CNE without
+// building the set: the native-pair count for the default set (on the
+// standard technology), five for pvt5, and the sample count for mc specs.
+// Invalid specs report the default pair — callers needing validation use
+// Validate; Cardinality only feeds coarse features such as the scheduler's
+// cost estimator.
+func Cardinality(raw string) int {
+	sp, err := parseSpec(raw)
+	if err != nil {
+		return 2
+	}
+	switch sp.kind {
+	case DefaultName:
+		return 2
+	case "pvt5":
+		return 5
+	default:
+		return sp.n
+	}
+}
+
 // Build constructs the corner set described by raw for technology t.
 // Generated sets (pvt5, mc) are derived from t's native fast/slow corner
 // pair, so they adapt to custom technology models.

@@ -3,6 +3,7 @@ package flow
 import (
 	"runtime"
 
+	"contango/internal/analysis"
 	"contango/internal/corners"
 	"contango/internal/opt"
 	"contango/internal/spice"
@@ -73,6 +74,14 @@ type Options struct {
 	// duration histograms. Like Log it is a hook, so it never participates
 	// in result-cache keys.
 	SpanHook func(kind, name string) func()
+	// WrapEval, when non-nil, wraps the accurate evaluator (the incremental
+	// engine, or Engine itself under FullEval) right before the optimization
+	// context is armed. The service's packing scheduler uses it to install a
+	// corner-chunking shim that yields the worker slot between chunks of a
+	// large sweep. Wrappers must preserve evaluation semantics exactly —
+	// same results for the same calls — which is why, like Log and SpanHook,
+	// WrapEval never participates in result-cache keys.
+	WrapEval func(analysis.Evaluator) analysis.Evaluator
 }
 
 // defaultCycles is the extra wire-pass convergence budget when unset.

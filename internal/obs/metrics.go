@@ -234,6 +234,21 @@ func (v *HistogramVec) Count() int64 {
 	return t
 }
 
+// Sum totals the observed values across every child histogram (for a
+// duration histogram: the cumulative seconds observed by the family).
+func (v *HistogramVec) Sum() float64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var t float64
+	for _, h := range v.kids {
+		t += h.Sum()
+	}
+	return t
+}
+
 // family is one registered metric under its exposition name.
 type family struct {
 	name, help string

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// A zero-prior estimator (cold start) must still produce positive,
+// feature-monotonic estimates — the pool's ranks and backlog math divide
+// by and compare them.
+func TestEstimatorColdStart(t *testing.T) {
+	e := NewEstimator(Priors{})
+	base := e.Estimate(Features{Plan: "custom", Corners: 2, Sinks: 40})
+	if base <= 0 {
+		t.Fatalf("cold-start estimate not positive: %v", base)
+	}
+	moreCorners := e.Estimate(Features{Plan: "custom", Corners: 256, Sinks: 40})
+	moreSinks := e.Estimate(Features{Plan: "custom", Corners: 2, Sinks: 4000})
+	if moreCorners <= base {
+		t.Fatalf("estimate not monotonic in corners: %v !> %v", moreCorners, base)
+	}
+	if moreSinks <= base {
+		t.Fatalf("estimate not monotonic in sinks: %v !> %v", moreSinks, base)
+	}
+	// Degenerate features clamp instead of collapsing to zero.
+	if d := e.Estimate(Features{}); d < minEstimate {
+		t.Fatalf("empty-feature estimate %v below floor %v", d, minEstimate)
+	}
+}
+
+// The default priors must reproduce the committed baseline they were
+// derived from: the 40-sink, 2-corner paper-plan cascade took ~2.06s.
+func TestEstimatorDefaultPriorsMatchBaseline(t *testing.T) {
+	e := NewEstimator(DefaultPriors())
+	got := e.Estimate(Features{Plan: "paper", Corners: 2, Sinks: 40}).Seconds()
+	if math.Abs(got-2.06) > 0.25 {
+		t.Fatalf("paper-plan prior %0.2fs, want ~2.06s (BENCH_baseline.json BenchmarkCascadeIncremental)", got)
+	}
+}
+
+// After a run of consistently mispredicted jobs the per-class EWMA must
+// converge the estimate onto the observed runtime.
+func TestEstimatorEWMAConvergence(t *testing.T) {
+	e := NewEstimator(DefaultPriors())
+	f := Features{Plan: "paper", Corners: 8, Sinks: 100}
+	actual := 4 * e.Estimate(f) // the model is 4x off for this class
+	for i := 0; i < 12; i++ {
+		e.Observe(f, actual)
+	}
+	got := e.Estimate(f)
+	if ratio := got.Seconds() / actual.Seconds(); ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("estimate %v did not converge to observed %v (ratio %0.2f)", got, actual, ratio)
+	}
+	info := e.Snapshot()
+	if info.Observations != 12 || len(info.Classes) != 1 {
+		t.Fatalf("snapshot = %+v, want 12 observations in 1 class", info)
+	}
+}
+
+// Classes never observed fall back to the global correction ratio, so a
+// uniformly slow host calibrates every class after observing any of them.
+func TestEstimatorGlobalFallback(t *testing.T) {
+	e := NewEstimator(DefaultPriors())
+	fa := Features{Plan: "paper", Corners: 2, Sinks: 40}
+	prior := e.Estimate(fa)
+	for i := 0; i < 10; i++ {
+		e.Observe(fa, 2*prior) // host runs everything 2x slower
+	}
+	fb := Features{Plan: "fast", Corners: 2, Sinks: 40} // class never observed
+	before := NewEstimator(DefaultPriors()).Estimate(fb)
+	after := e.Estimate(fb)
+	if ratio := after.Seconds() / before.Seconds(); ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("unobserved class not scaled by global ratio: %v -> %v (ratio %0.2f)", before, after, ratio)
+	}
+}
+
+// A single absurd observation must not wreck the class (ratio clamping).
+func TestEstimatorObservationClamp(t *testing.T) {
+	e := NewEstimator(DefaultPriors())
+	f := Features{Plan: "paper", Corners: 2, Sinks: 40}
+	e.Observe(f, 24*time.Hour) // suspended laptop
+	if got := e.Estimate(f); got > 100*64*time.Second {
+		t.Fatalf("clamp failed: estimate %v after one pathological observation", got)
+	}
+	e2 := NewEstimator(DefaultPriors())
+	e2.Observe(f, time.Nanosecond)
+	if got := e2.Estimate(f); got < minEstimate {
+		t.Fatalf("low clamp failed: estimate %v", got)
+	}
+}

@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"contango/internal/bench"
 	"contango/internal/corners"
 	"contango/internal/flow"
+	"contango/internal/sched"
 	"contango/internal/store"
 	"contango/internal/tech"
 )
@@ -29,6 +32,7 @@ import (
 //	GET    /api/v1/jobs/{id}/events  server-sent progress events
 //	GET    /api/v1/benchmarks    named benchmarks -> {benchmarks: []string}
 //	GET    /api/v1/corners       built-in PVT corner sets -> {corners: []corners.Info}
+//	GET    /api/v1/queue         scheduler introspection -> QueueWire
 //	GET    /api/v1/stats         service counters -> Stats
 //	GET    /metrics              Prometheus text exposition of the same counters
 //	GET    /healthz              liveness probe
@@ -45,6 +49,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("/api/v1/batches", s.handleBatches)
 	s.mux.HandleFunc("/api/v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("/api/v1/corners", s.handleCorners)
+	s.mux.HandleFunc("/api/v1/queue", s.handleQueue)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.Handle("/metrics", svc.MetricsRegistry().Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -96,9 +101,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		j, err := s.svc.Submit(b, req.Options.Options())
+		j, err := s.svc.SubmitWith(b, req.Options.Options(), SubmitOpts{Deadline: req.Options.Deadline()})
 		if err != nil {
-			writeError(w, submitErrCode(err), "%v", err)
+			writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Wire())
@@ -108,14 +113,30 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func submitErrCode(err error) int {
-	switch err {
-	case ErrQueueFull:
+	var be *sched.BacklogError
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.As(err, &be):
 		return http.StatusTooManyRequests
-	case ErrClosed:
+	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeSubmitError renders a submission error; backpressure rejections
+// (estimated queue wait over the admission bound) carry a Retry-After
+// header alongside the 429.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var be *sched.BacklogError
+	if errors.As(err, &be) {
+		secs := int(be.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, submitErrCode(err), "%v", err)
 }
 
 func resolveBench(req SubmitRequest) (*bench.Benchmark, error) {
@@ -148,7 +169,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs, err := s.svc.SubmitBatch(reqs)
 	if err != nil {
-		writeError(w, submitErrCode(err), "%v", err)
+		writeSubmitError(w, err)
 		return
 	}
 	out := make([]*JobWire, len(jobs))
@@ -361,6 +382,17 @@ func (s *Server) handleCorners(w http.ResponseWriter, r *http.Request) {
 		"default": corners.DefaultName,
 		"corners": corners.List(tech.Default45()),
 	})
+}
+
+// handleQueue exposes the scheduler's live state: slot occupancy, the
+// ranked waiting queue, the estimated backlog, and the cost model's
+// calibration snapshot.
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.QueueInfo())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/obs"
+	"contango/internal/sched"
 )
 
 // State is a job's lifecycle phase.
@@ -55,24 +56,36 @@ type Job struct {
 	// lifecycle transitions are journaled — a journal record without a
 	// spec could never be recovered and would nag every restart.
 	durable bool
+	// features and estimate are the cost model's view of the job, fixed at
+	// submission. Neither participates in the content key: scheduling
+	// decides when a result arrives, never what it is.
+	features sched.Features
+	estimate time.Duration
+	// ticket is the job's claim in the packing scheduler's queue (nil
+	// under the fifo scheduler and for cache-hit jobs).
+	ticket *sched.Ticket
 
 	svc  *Service
 	done chan struct{}
 
-	mu        sync.Mutex
-	state     State
-	started   time.Time
-	finished  time.Time
-	cacheHit  bool
-	cacheTier cacheTier  // which tier served a cache hit ("" otherwise)
-	trace     *obs.Trace // span tree of the job's lifecycle (set at finish)
-	result    *core.Result
-	err       error
-	logs      []string
-	dropped   int // log lines discarded from the front of the ring
-	subs      map[int]chan string
-	nextSub   int
-	cancel    context.CancelFunc
+	mu    sync.Mutex
+	state State
+	// deadline is the job's soft completion deadline (zero = none). It can
+	// only tighten: coalesced submitters settle on the earliest one.
+	deadline       time.Time
+	deadlineMissed bool
+	started        time.Time
+	finished       time.Time
+	cacheHit       bool
+	cacheTier      cacheTier  // which tier served a cache hit ("" otherwise)
+	trace          *obs.Trace // span tree of the job's lifecycle (set at finish)
+	result         *core.Result
+	err            error
+	logs           []string
+	dropped        int // log lines discarded from the front of the ring
+	subs           map[int]chan string
+	nextSub        int
+	cancel         context.CancelFunc
 
 	// Rendering a finished tree re-runs the multi-corner simulation, so
 	// the SVG is produced once per job and the bytes reused.
@@ -119,6 +132,47 @@ func (j *Job) CacheTier() string {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Estimate returns the cost model's predicted runtime for the job, fixed
+// at submission (zero for cache-hit jobs, which never needed one).
+func (j *Job) Estimate() time.Duration { return j.estimate }
+
+// Deadline returns the job's soft completion deadline and whether one is
+// set. Coalesced resubmissions may have tightened it since submission.
+func (j *Job) Deadline() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadline, !j.deadline.IsZero()
+}
+
+// DeadlineMissed reports whether the job finished successfully after its
+// soft deadline. Always false while running and for undeadlined jobs.
+func (j *Job) DeadlineMissed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadlineMissed
+}
+
+// tightenDeadline moves the job's soft deadline earlier (never later) and
+// propagates the change to the packing scheduler's queue ranking. A zero
+// deadline is a no-op, so undeadlined coalesced submissions never loosen
+// an existing one.
+func (j *Job) tightenDeadline(d time.Time) {
+	if d.IsZero() {
+		return
+	}
+	j.mu.Lock()
+	if !j.deadline.IsZero() && !d.Before(j.deadline) {
+		j.mu.Unlock()
+		return
+	}
+	j.deadline = d
+	tk := j.ticket
+	j.mu.Unlock()
+	if tk != nil && j.svc.pool != nil {
+		j.svc.pool.UpdateDeadline(tk, d)
+	}
+}
 
 // Result returns the synthesis result once the job is Done. Before
 // completion it returns (nil, nil); after a failure or cancellation it

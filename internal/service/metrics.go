@@ -45,6 +45,15 @@ type serviceMetrics struct {
 	passDur *obs.HistogramVec // pass
 	evalDur *obs.Histogram
 
+	// Packing-scheduler families (registered under both disciplines so
+	// the exposition is stable; only the pack scheduler moves most of them).
+	estRatio  *obs.Histogram    // actual/predicted runtime
+	deadlines *obs.CounterVec   // outcome: hit | miss
+	queueWait *obs.HistogramVec // plan
+	splits    *obs.Counter
+	yields    *obs.Counter
+	rejected  *obs.Counter
+
 	storeMetrics *store.Metrics
 }
 
@@ -93,11 +102,28 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 		evalDur: reg.Histogram("contango_corner_eval_seconds",
 			"Wall-clock duration of arming the accurate evaluator (the first full multi-corner evaluation).",
 			passDurationBuckets),
+
+		estRatio: reg.Histogram("contango_sched_estimate_ratio",
+			"Actual over predicted runtime of executed jobs (1.0 = the cost model was exact).",
+			obs.ExpBuckets(1.0/32, 2, 11)),
+		deadlines: reg.CounterVec("contango_sched_deadline_total",
+			"Successfully finished jobs that carried a soft deadline, by outcome.", "outcome"),
+		queueWait: reg.HistogramVec("contango_sched_queue_wait_seconds",
+			"Time jobs waited for a worker slot under the pack scheduler, by plan.",
+			passDurationBuckets, "plan"),
+		splits: reg.Counter("contango_sched_splits_total",
+			"Multi-corner evaluations split into schedulable chunks."),
+		yields: reg.Counter("contango_sched_yields_total",
+			"Worker-slot yields at chunk boundaries (the slot went to a waiting job)."),
+		rejected: reg.Counter("contango_sched_rejected_total",
+			"Submissions refused by admission control (queue saturated or estimated wait over the bound)."),
 	}
 	// Pre-create the tier children so both series exist from the first
 	// scrape and Stats can read them without conditioning.
 	m.cacheHits.With(string(tierMemory))
 	m.cacheHits.With(string(tierDisk))
+	m.deadlines.With("hit")
+	m.deadlines.With("miss")
 
 	m.storeMetrics = &store.Metrics{
 		Reads: reg.Counter("contango_store_reads_total",
@@ -119,7 +145,20 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 	reg.GaugeFunc("contango_workers", "Size of the synthesis worker pool.",
 		func() float64 { return float64(s.cfg.Workers) })
 	reg.GaugeFunc("contango_queue_depth", "Jobs waiting for a free worker.",
-		func() float64 { return float64(len(s.queue)) })
+		func() float64 {
+			if s.pool != nil {
+				return float64(s.pool.Waiting())
+			}
+			return float64(len(s.queue))
+		})
+	reg.GaugeFunc("contango_sched_backlog_seconds",
+		"Estimated time for the pack scheduler's queue to drain (0 with a free slot).",
+		func() float64 {
+			if s.pool == nil {
+				return 0
+			}
+			return s.pool.Backlog().Seconds()
+		})
 	reg.GaugeFunc("contango_jobs_inflight", "Jobs currently queued or running (in-flight dedup map size).",
 		func() float64 {
 			s.mu.Lock()

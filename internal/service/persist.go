@@ -74,11 +74,16 @@ func (s *Service) journal(kind, key string) {
 // the cache write-through, but a crash cannot re-queue them. Runs without
 // s.mu held: the write is idempotent, so racing identical submissions are
 // safe.
-func (s *Service) persistSubmit(b *bench.Benchmark, o core.Options, key string) bool {
+func (s *Service) persistSubmit(b *bench.Benchmark, o core.Options, key string, deadlineMS int64) bool {
 	if s.st == nil {
 		return false
 	}
 	spec := jobSpec{Options: optionsToWire(o)}
+	// The deadline travels in the spec as a relative duration (it cannot
+	// come from optionsToWire — it is a submission hint, not an option) so
+	// a recovered job gets a fresh window of the same length. It does not
+	// perturb the spec's content key: OptionsWire.Options ignores it.
+	spec.Options.DeadlineMS = deadlineMS
 	var bb bytes.Buffer
 	if err := bench.Write(&bb, b); err != nil {
 		s.logf("job %s: not durable (benchmark serialization: %v)", shortKey(key), err)
@@ -147,7 +152,7 @@ func (s *Service) recoverJournal(recs []store.Record) {
 			s.logf("recovery: job %s: bad benchmark: %v", shortKey(r.Key), err)
 			continue
 		}
-		j, err := s.Submit(b, spec.Options.Options())
+		j, err := s.SubmitWith(b, spec.Options.Options(), SubmitOpts{Deadline: spec.Options.Deadline()})
 		if err != nil {
 			s.logf("recovery: job %s: resubmission failed: %v", shortKey(r.Key), err)
 			continue

@@ -23,12 +23,27 @@ import (
 	"sync"
 	"time"
 
+	"contango/internal/analysis"
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/corners"
 	"contango/internal/flow"
 	"contango/internal/obs"
+	"contango/internal/sched"
 	"contango/internal/store"
+)
+
+// Scheduler disciplines accepted by Config.Scheduler.
+const (
+	// SchedulerPack is the cost-model-driven packing scheduler: jobs are
+	// granted worker slots by estimated core-seconds (shortest first, with
+	// aging and soft-deadline urgency), large corner sweeps yield their slot
+	// at chunk boundaries, and admission is bounded by the estimated queue
+	// wait. Scheduling never changes results — only when they arrive.
+	SchedulerPack = "pack"
+	// SchedulerFIFO is the original channel-based first-in-first-out worker
+	// pool.
+	SchedulerFIFO = "fifo"
 )
 
 // Config tunes a Service.
@@ -82,6 +97,23 @@ type Config struct {
 	// counter lives in it — Stats and the Prometheus exposition are two
 	// renderings of the same registers.
 	Registry *obs.Registry
+	// Scheduler selects the queueing discipline: SchedulerPack (the
+	// default) or SchedulerFIFO. Scheduling shapes latency only, never
+	// results: a job's result and content key are identical under either.
+	Scheduler string
+	// MaxQueueWait, when positive, bounds admission by estimated backlog:
+	// submissions arriving while every slot is busy and the queue is
+	// estimated to take longer than this to drain are rejected with a
+	// *sched.BacklogError carrying a Retry-After hint (HTTP 429). Zero
+	// disables the bound. Pack scheduler only.
+	MaxQueueWait time.Duration
+	// SplitCorners is the maximum corners a multi-corner evaluation runs
+	// per worker-slot tenure under the pack scheduler: larger evaluations
+	// are split into chunks with a cooperative slot yield between them, so
+	// a big Monte Carlo sweep interleaves with interactive jobs instead of
+	// monopolizing a worker. 0 means the default (16); negative disables
+	// splitting. Splitting never changes results.
+	SplitCorners int
 }
 
 func (c *Config) fill() {
@@ -103,6 +135,12 @@ func (c *Config) fill() {
 			c.JobParallelism = 1
 		}
 	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedulerPack
+	}
+	if c.SplitCorners == 0 {
+		c.SplitCorners = 16
+	}
 }
 
 // Errors returned by submission.
@@ -116,25 +154,34 @@ var (
 type Request struct {
 	Bench *bench.Benchmark
 	Opts  core.Options
+	// Deadline is the per-request soft completion deadline (0 = none),
+	// passed through to SubmitWith.
+	Deadline time.Duration
 }
 
 // Stats is a snapshot of service counters.
 type Stats struct {
-	Workers        int `json:"workers"`
-	QueueLen       int `json:"queue_len"`
-	Jobs           int `json:"jobs"`
-	Submitted      int `json:"submitted"`
-	Coalesced      int `json:"coalesced"`       // submissions joined to an in-flight identical job
-	CacheHits      int `json:"cache_hits"`      // submissions served from the result cache (either tier)
-	CacheMisses    int `json:"cache_misses"`    // submissions served by neither cache tier
-	CacheEvictions int `json:"cache_evictions"` // memory-tier demotions (entries persist on disk when DataDir is set)
-	DiskHits       int `json:"disk_hits"`       // cache hits served by the disk tier (subset of cache_hits)
-	RecoveredJobs  int `json:"recovered_jobs"`  // unfinished jobs re-queued from the journal at startup
-	CacheEntries   int `json:"cache_entries"`
-	Completed      int `json:"completed"`
-	Failed         int `json:"failed"`
-	Canceled       int `json:"canceled"`
-	SimRuns        int `json:"sim_runs"` // accurate-simulator invocations across executed jobs
+	Workers        int    `json:"workers"`
+	Scheduler      string `json:"scheduler"`
+	QueueLen       int    `json:"queue_len"`
+	Jobs           int    `json:"jobs"`
+	Submitted      int    `json:"submitted"`
+	Coalesced      int    `json:"coalesced"`       // submissions joined to an in-flight identical job
+	CacheHits      int    `json:"cache_hits"`      // submissions served from the result cache (either tier)
+	CacheMisses    int    `json:"cache_misses"`    // submissions served by neither cache tier
+	CacheEvictions int    `json:"cache_evictions"` // memory-tier demotions (entries persist on disk when DataDir is set)
+	DiskHits       int    `json:"disk_hits"`       // cache hits served by the disk tier (subset of cache_hits)
+	RecoveredJobs  int    `json:"recovered_jobs"`  // unfinished jobs re-queued from the journal at startup
+	CacheEntries   int    `json:"cache_entries"`
+	Completed      int    `json:"completed"`
+	Failed         int    `json:"failed"`
+	Canceled       int    `json:"canceled"`
+	SimRuns        int    `json:"sim_runs"` // accurate-simulator invocations across executed jobs
+
+	Rejected       int     `json:"rejected"`        // submissions refused by admission control
+	DeadlineHits   int     `json:"deadline_hits"`   // deadlined jobs that finished in time
+	DeadlineMisses int     `json:"deadline_misses"` // deadlined jobs that finished late (never killed)
+	BacklogSeconds float64 `json:"backlog_seconds"` // estimated queue drain time (pack scheduler)
 }
 
 // Service runs synthesis jobs on a worker pool with content-addressed
@@ -143,7 +190,9 @@ type Stats struct {
 // graceful stop that preserves in-flight work in the journal, Shutdown.
 type Service struct {
 	cfg       Config
-	queue     chan *Job
+	queue     chan *Job   // fifo scheduler only (nil under pack)
+	pool      *sched.Pool // pack scheduler only (nil under fifo)
+	est       *sched.Estimator
 	cache     *resultCache    // nil when caching is disabled
 	st        *store.Store    // nil without DataDir
 	jnl       *store.Journal  // nil without DataDir
@@ -168,11 +217,24 @@ type Service struct {
 // an in-memory service.
 func Open(cfg Config) (*Service, error) {
 	cfg.fill()
+	if cfg.Scheduler != SchedulerPack && cfg.Scheduler != SchedulerFIFO {
+		return nil, fmt.Errorf("service: unknown scheduler %q (valid: %s, %s)",
+			cfg.Scheduler, SchedulerPack, SchedulerFIFO)
+	}
 	s := &Service{
 		cfg:      cfg,
-		queue:    make(chan *Job, cfg.QueueDepth),
+		est:      sched.NewEstimator(sched.DefaultPriors()),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	if cfg.Scheduler == SchedulerPack {
+		s.pool = sched.NewPool(sched.PoolConfig{
+			Slots:      cfg.Workers,
+			MaxWaiting: cfg.QueueDepth,
+			MaxWait:    cfg.MaxQueueWait,
+		})
+	} else {
+		s.queue = make(chan *Job, cfg.QueueDepth)
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -197,9 +259,11 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, s.st, s.metrics.cacheMisses, s.metrics.cacheEvictions)
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if s.queue != nil {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	s.recoverJournal(recovered)
 	return s, nil
@@ -247,6 +311,19 @@ func (s *Service) logJob(j *Job, msg string, attrs ...slog.Attr) {
 // families — the backing state of both Stats and the /metrics exposition.
 func (s *Service) MetricsRegistry() *obs.Registry { return s.metrics.reg }
 
+// SubmitOpts carries per-submission scheduling hints. They shape when a
+// job runs, never what it computes: nothing here participates in the
+// job's content key, so a deadlined submission coalesces with (and is
+// served by the cache of) the identical un-deadlined one.
+type SubmitOpts struct {
+	// Deadline, when positive, sets a soft completion deadline this far
+	// from submission. The pack scheduler prioritizes jobs whose deadline
+	// is in jeopardy; a missed deadline is recorded (job status, metrics,
+	// Stats), never enforced by killing the job. Identical coalesced
+	// submissions tighten the shared job to the earliest deadline.
+	Deadline time.Duration
+}
+
 // Submit enqueues one synthesis run and returns its Job immediately.
 // Submissions dedupe by content: if the identical run (same benchmark
 // bytes, same canonicalized options) is already queued or running, the
@@ -257,6 +334,11 @@ func (s *Service) MetricsRegistry() *obs.Registry { return s.metrics.reg }
 // own simulator instance; a caller-shared Engine is used as-is and is not
 // safe across concurrent jobs.
 func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
+	return s.SubmitWith(b, o, SubmitOpts{})
+}
+
+// SubmitWith is Submit with scheduling hints (soft deadline).
+func (s *Service) SubmitWith(b *bench.Benchmark, o core.Options, so SubmitOpts) (*Job, error) {
 	if b == nil || len(b.Sinks) == 0 {
 		return nil, ErrNoBench
 	}
@@ -277,6 +359,10 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	}
 	key := JobKey(b, o)
 	lookupStart := time.Now()
+	var deadline time.Time
+	if so.Deadline > 0 {
+		deadline = lookupStart.Add(so.Deadline)
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -292,6 +378,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		s.metrics.submitted.Inc()
 		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
+		live.tightenDeadline(deadline)
 		return live, nil
 	}
 
@@ -299,7 +386,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	// atomic with the in-flight map.
 	if s.cache != nil {
 		if res, ok := s.cache.getMemory(key); ok {
-			j := s.finishCacheHitLocked(b, o, key, res, tierMemory, lookupStart)
+			j := s.finishCacheHitLocked(b, o, key, res, tierMemory, lookupStart, deadline)
 			s.mu.Unlock()
 			s.logCacheHit(j)
 			return j, nil
@@ -319,7 +406,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	}
 	durable := false
 	if diskRes == nil {
-		durable = s.persistSubmit(b, o, key)
+		durable = s.persistSubmit(b, o, key, int64(so.Deadline/time.Millisecond))
 		if durable {
 			// "submitted" is journaled before the job can reach any worker
 			// or canceler, so no terminal record for this submission can
@@ -344,6 +431,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		s.metrics.submitted.Inc()
 		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
+		live.tightenDeadline(deadline)
 		return live, nil
 	}
 	// On a disk miss, re-check the memory tier: an in-flight identical job
@@ -354,7 +442,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	// result into memory, and the submission was genuinely disk-served.)
 	if diskRes == nil && s.cache != nil {
 		if res, ok := s.cache.getMemory(key); ok {
-			j := s.finishCacheHitLocked(b, o, key, res, tierMemory, lookupStart)
+			j := s.finishCacheHitLocked(b, o, key, res, tierMemory, lookupStart, deadline)
 			s.mu.Unlock()
 			s.logCacheHit(j)
 			if durable {
@@ -367,7 +455,7 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 	}
 	if diskRes != nil {
 		// A result some earlier process computed and persisted.
-		j := s.finishCacheHitLocked(b, o, key, diskRes, tierDisk, lookupStart)
+		j := s.finishCacheHitLocked(b, o, key, diskRes, tierDisk, lookupStart, deadline)
 		s.mu.Unlock()
 		s.logCacheHit(j)
 		// Converge the journal: if a crash lost the original "finished"
@@ -378,6 +466,11 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		return j, nil
 	}
 
+	feats := sched.Features{
+		Plan:    planLabel(o.Plan),
+		Corners: corners.Cardinality(cornersLabel(o.Corners)),
+		Sinks:   len(b.Sinks),
+	}
 	j := &Job{
 		id:           fmt.Sprintf("job-%04d", s.seq+1),
 		key:          key,
@@ -388,34 +481,78 @@ func (s *Service) Submit(b *bench.Benchmark, o core.Options) (*Job, error) {
 		submitted:    lookupStart,
 		enqueued:     time.Now(),
 		durable:      durable,
+		features:     feats,
+		estimate:     s.est.Estimate(feats),
+		deadline:     deadline,
 		svc:          s,
 		state:        Queued,
 		done:         make(chan struct{}),
 	}
 	s.seq++
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		if durable {
-			s.journal("canceled", key)
+	if s.pool != nil {
+		// Pack scheduler: admission bounds (waiting count, estimated
+		// backlog) are checked atomically here; the blocking wait for a
+		// slot happens in the job's own goroutine (runPacked).
+		tk, err := s.pool.Enqueue(sched.Claim{Label: j.id, Estimate: j.estimate, Deadline: deadline})
+		if err != nil {
+			s.mu.Unlock()
+			s.metrics.rejected.Inc()
+			if durable {
+				s.journal("canceled", key)
+			}
+			if errors.Is(err, sched.ErrSaturated) {
+				return nil, ErrQueueFull
+			}
+			return nil, err // *sched.BacklogError with a Retry-After hint
 		}
-		return nil, ErrQueueFull
+		j.ticket = tk
+		s.metrics.submitted.Inc()
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.inflight[key] = j
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.runPacked(j)
+	} else {
+		select {
+		case s.queue <- j:
+		default:
+			s.mu.Unlock()
+			s.metrics.rejected.Inc()
+			if durable {
+				s.journal("canceled", key)
+			}
+			return nil, ErrQueueFull
+		}
+		s.metrics.submitted.Inc()
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.inflight[key] = j
+		s.mu.Unlock()
 	}
-	s.metrics.submitted.Inc()
-	s.jobs[j.id] = j
-	s.order = append(s.order, j)
-	s.inflight[key] = j
-	s.mu.Unlock()
 	s.logf("job %s: queued %s (%d sinks)", j.id, b.Name, len(b.Sinks))
 	s.logJob(j, "job queued", slog.Int("sinks", len(b.Sinks)))
 	return j, nil
 }
 
+// runPacked is the pack scheduler's per-job driver: it waits for the pool
+// to grant the job a slot (abandoning the wait if the job is canceled
+// first — its done channel closes), runs the job, and releases the slot.
+func (s *Service) runPacked(j *Job) {
+	defer s.wg.Done()
+	tk := j.ticket
+	if err := s.pool.Await(tk, j.done); err != nil {
+		return // canceled while waiting; Cancel already finished the job
+	}
+	defer s.pool.Release(tk)
+	s.metrics.queueWait.With(j.planLabel).Observe(tk.QueueWait().Seconds())
+	s.run(j) // no-ops if the job was canceled between grant and here
+}
+
 // finishCacheHitLocked registers a submission served from the result cache
 // as an instantly completed job. Called with s.mu held; the caller logs
 // (logCacheHit) after releasing the lock.
-func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key string, res *core.Result, tier cacheTier, lookupStart time.Time) *Job {
+func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key string, res *core.Result, tier cacheTier, lookupStart time.Time, deadline time.Time) *Job {
 	j := &Job{
 		id:           fmt.Sprintf("job-%04d", s.seq+1),
 		key:          key,
@@ -424,6 +561,7 @@ func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key s
 		planLabel:    planLabel(o.Plan),
 		cornersLabel: cornersLabel(o.Corners),
 		submitted:    lookupStart,
+		deadline:     deadline,
 		svc:          s,
 		state:        Queued,
 		done:         make(chan struct{}),
@@ -450,9 +588,31 @@ func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key s
 	j.mu.Lock()
 	j.finishLocked(Done, res, nil)
 	j.mu.Unlock()
+	s.accountDeadline(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	return j
+}
+
+// accountDeadline records a successfully finished job's soft-deadline
+// outcome (hit or miss). Deadlines are advisory: a miss is counted and
+// surfaced on the job, nothing is killed. Failed and canceled jobs are
+// not counted — they have no meaningful deadline outcome.
+func (s *Service) accountDeadline(j *Job) {
+	j.mu.Lock()
+	deadline, finished := j.deadline, j.finished
+	if deadline.IsZero() {
+		j.mu.Unlock()
+		return
+	}
+	missed := finished.After(deadline)
+	j.deadlineMissed = missed
+	j.mu.Unlock()
+	if missed {
+		s.metrics.deadlines.With("miss").Inc()
+	} else {
+		s.metrics.deadlines.With("hit").Inc()
+	}
 }
 
 func (s *Service) logCacheHit(j *Job) {
@@ -468,7 +628,7 @@ func (s *Service) logCacheHit(j *Job) {
 func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
 	jobs := make([]*Job, 0, len(reqs))
 	for i, r := range reqs {
-		j, err := s.Submit(r.Bench, r.Opts)
+		j, err := s.SubmitWith(r.Bench, r.Opts, SubmitOpts{Deadline: r.Deadline})
 		if err != nil {
 			return jobs, fmt.Errorf("batch request %d (%s): %w", i, benchName(r.Bench), err)
 		}
@@ -534,12 +694,21 @@ func (s *Service) Stats() Stats {
 		Failed:         int(m.failed.Total()),
 		Canceled:       int(m.canceled.Total()),
 		SimRuns:        int(m.simRuns.Value()),
+		Rejected:       int(m.rejected.Value()),
+		DeadlineHits:   int(m.deadlines.With("hit").Value()),
+		DeadlineMisses: int(m.deadlines.With("miss").Value()),
 	}
 	s.mu.Lock()
 	st.Workers = s.cfg.Workers
-	st.QueueLen = len(s.queue)
+	st.Scheduler = s.cfg.Scheduler
 	st.Jobs = len(s.jobs)
 	s.mu.Unlock()
+	if s.pool != nil {
+		st.QueueLen = s.pool.Waiting()
+		st.BacklogSeconds = s.pool.Backlog().Seconds()
+	} else {
+		st.QueueLen = len(s.queue)
+	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.Len()
 	}
@@ -554,9 +723,19 @@ func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	s.queueOnce.Do(func() { close(s.queue) })
+	s.closeQueue()
 	s.wg.Wait()
 	s.closeJournal()
+}
+
+// closeQueue closes the fifo worker queue exactly once (no-op under the
+// pack scheduler, whose per-job goroutines exit through the WaitGroup).
+func (s *Service) closeQueue() {
+	s.queueOnce.Do(func() {
+		if s.queue != nil {
+			close(s.queue)
+		}
+	})
 }
 
 // Shutdown stops the service gracefully: intake stops immediately, then
@@ -570,7 +749,7 @@ func (s *Service) Shutdown(ctx context.Context) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.queueOnce.Do(func() { close(s.queue) })
+		s.closeQueue()
 		s.wg.Wait()
 		s.closeJournal()
 		return
@@ -595,7 +774,7 @@ func (s *Service) Shutdown(ctx context.Context) {
 		s.mu.Unlock()
 		s.CancelAll()
 	}
-	s.queueOnce.Do(func() { close(s.queue) })
+	s.closeQueue()
 	s.wg.Wait()
 	s.closeJournal()
 }
@@ -660,6 +839,33 @@ func (s *Service) run(j *Job) {
 	if !j.enqueued.IsZero() {
 		root.ChildSpan("cache_lookup", j.submitted, j.enqueued)
 		root.ChildSpan("queue_wait", j.enqueued, started)
+	}
+
+	// Under the pack scheduler, wrap the accurate evaluator so large
+	// multi-corner evaluations run in chunks with a cooperative slot yield
+	// between them: a waiting job (an urgent or short one, by the pool's
+	// ranking) borrows the slot while a big sweep is mid-flight. The shim
+	// changes only when simulations run, never which — results and cache
+	// keys are bit-identical with and without it.
+	if tk := j.ticket; tk != nil && s.cfg.SplitCorners > 0 {
+		userWrap := o.WrapEval
+		o.WrapEval = func(ev analysis.Evaluator) analysis.Evaluator {
+			if userWrap != nil {
+				ev = userWrap(ev)
+			}
+			return &sched.Chunked{
+				Eval:  ev,
+				Chunk: s.cfg.SplitCorners,
+				Yield: func() error {
+					yielded, yerr := s.pool.Yield(tk, ctx.Done())
+					if yielded {
+						s.metrics.yields.Inc()
+					}
+					return yerr
+				},
+				OnSplit: func(int) { s.metrics.splits.Inc() },
+			}
+		}
 	}
 
 	// Fan the flow's progress lines into the job's own log (and through to
@@ -744,6 +950,17 @@ func (s *Service) run(j *Job) {
 	j.trace = tr
 	j.finishLocked(st, res, err)
 	j.mu.Unlock()
+	if st == Done {
+		// Feed the cost model: the observed runtime refines this feature
+		// class's estimate, and the predicted-vs-actual ratio goes to the
+		// calibration histogram (1.0 = perfect prediction).
+		elapsed := time.Since(started)
+		s.est.Observe(j.features, elapsed)
+		if j.estimate > 0 {
+			s.metrics.estRatio.Observe(elapsed.Seconds() / j.estimate.Seconds())
+		}
+		s.accountDeadline(j)
+	}
 	if err != nil {
 		s.logf("job %s: %s (%v)", j.id, st, err)
 		s.logJob(j, "job "+string(st), slog.String("error", err.Error()))

@@ -147,6 +147,12 @@ type JobWire struct {
 	Result     *ResultWire `json:"result,omitempty"`
 	LogLines   int         `json:"log_lines"`
 	LogDropped int         `json:"log_dropped,omitempty"`
+	// EstimatedMs is the cost model's predicted runtime at submission
+	// (absent for cache-hit jobs). Deadline and DeadlineMissed surface the
+	// job's soft deadline: a miss is recorded, the job is never killed.
+	EstimatedMs    float64    `json:"estimated_ms,omitempty"`
+	Deadline       *time.Time `json:"deadline,omitempty"`
+	DeadlineMissed bool       `json:"deadline_missed,omitempty"`
 	// TraceSummary lists the finished job's longest trace spans (queue wait,
 	// flow passes, evaluator arming, persistence). The full span tree is the
 	// "trace" artifact in Chrome trace-event format.
@@ -181,6 +187,14 @@ func (j *Job) Wire() *JobWire {
 	}
 	if j.err != nil {
 		w.Error = j.err.Error()
+	}
+	if j.estimate > 0 {
+		w.EstimatedMs = float64(j.estimate) / float64(time.Millisecond)
+	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		w.Deadline = &t
+		w.DeadlineMissed = j.deadlineMissed
 	}
 	w.TraceSummary = j.trace.Top(5)
 	return w
@@ -218,6 +232,18 @@ type OptionsWire struct {
 	// re-simulates the whole network at every optimization round: the slow
 	// reference path the incremental engine is validated against.
 	FullEval bool `json:"full_eval,omitempty"`
+	// DeadlineMS is a soft completion deadline in milliseconds from
+	// submission (0 = none). It is a scheduling hint, not an option: the
+	// pack scheduler prioritizes jobs whose deadline is in jeopardy and a
+	// miss is recorded, never enforced by killing the job. It is excluded
+	// from the result-cache key — deadlined and undeadlined submissions of
+	// the same run coalesce and share one cached result.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Deadline returns the wire deadline as a duration (0 = none).
+func (o OptionsWire) Deadline() time.Duration {
+	return time.Duration(o.DeadlineMS) * time.Millisecond
 }
 
 // Options converts the wire form to flow options.
@@ -289,5 +315,11 @@ func (r BatchRequest) Resolve() ([]Request, error) {
 	if r.Sweep != nil {
 		sw = *r.Sweep
 	}
-	return SweepRequests(benches, r.Options.Options(), sw), nil
+	reqs := SweepRequests(benches, r.Options.Options(), sw)
+	if d := r.Options.Deadline(); d > 0 {
+		for i := range reqs {
+			reqs[i].Deadline = d
+		}
+	}
+	return reqs, nil
 }
