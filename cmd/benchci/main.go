@@ -27,12 +27,14 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. Extra holds custom b.ReportMetric
+// units (e.g. "peak-rss-MB") that rows may emit in any position.
 type Entry struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is the JSON shape of a bench run (BENCH_*.json).
@@ -43,9 +45,55 @@ type Snapshot struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-// benchLine matches one `go test -bench` result row, e.g.
-// "BenchmarkFoo/sub-8   3   123456 ns/op   120 B/op   7 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// benchName matches a result row's leading name column, e.g.
+// "BenchmarkFoo/sub-8" (the -8 GOMAXPROCS suffix is stripped).
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?$`)
+
+// parseRow tokenizes one result row into value/unit pairs. Unlike a fixed
+// "ns/op [B/op] [allocs/op]" pattern, this survives custom b.ReportMetric
+// units appearing in any position — the testing package sorts metrics
+// alphabetically, so "peak-rss-MB" lands between ns/op and the -benchmem
+// columns and a positional regexp would silently drop everything after it.
+func parseRow(line string) (name string, e Entry, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return "", Entry{}, false
+	}
+	m := benchName.FindStringSubmatch(f[0])
+	if m == nil {
+		return "", Entry{}, false
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e = Entry{Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = v
+		}
+	}
+	if !seenNs {
+		return "", Entry{}, false
+	}
+	return m[1], e, true
+}
 
 func parse(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{Benchmarks: map[string]Entry{}}
@@ -61,23 +109,9 @@ func parse(r io.Reader) (*Snapshot, error) {
 		case strings.HasPrefix(line, "cpu: "):
 			snap.CPU = strings.TrimPrefix(line, "cpu: ")
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if name, e, ok := parseRow(line); ok {
+			snap.Benchmarks[name] = e
 		}
-		iters, _ := strconv.Atoi(m[2])
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchci: bad ns/op in %q: %w", line, err)
-		}
-		e := Entry{Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			e.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			e.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
-		}
-		snap.Benchmarks[m[1]] = e
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -139,9 +173,36 @@ func compare(base, cur *Snapshot, threshold, minNs float64, normalize string) (r
 		if ratio > threshold {
 			if b.NsPerOp < minNs && c.NsPerOp < minNs*(1+threshold) {
 				notes = append(notes, line+" [below gating floor]")
+			} else {
+				regressions = append(regressions, line)
+			}
+		}
+		// Memory gates: bytes/op and allocs/op regress deterministically
+		// (no machine-speed normalization, same threshold). Tiny baselines
+		// stay informational — a few dozen allocations of jitter would
+		// otherwise trip the gate.
+		memDims := []struct {
+			unit      string
+			base, cur float64
+			floorBase float64
+		}{
+			{"B/op", b.BytesPerOp, c.BytesPerOp, 16 * 1024},
+			{"allocs/op", b.AllocsPerOp, c.AllocsPerOp, 200},
+		}
+		for _, dim := range memDims {
+			if dim.base <= 0 {
+				continue // baseline predates -benchmem capture for this row
+			}
+			r := dim.cur/dim.base - 1
+			if r <= threshold {
 				continue
 			}
-			regressions = append(regressions, line)
+			mline := fmt.Sprintf("%s: %.0f -> %.0f %s (%+.1f%%)", name, dim.base, dim.cur, dim.unit, 100*r)
+			if dim.base < dim.floorBase {
+				notes = append(notes, mline+" [below gating floor]")
+				continue
+			}
+			regressions = append(regressions, mline)
 		}
 	}
 	for name := range cur.Benchmarks {

@@ -138,3 +138,78 @@ func TestCheckRequired(t *testing.T) {
 		t.Errorf("blank spec entries counted: %v", missing)
 	}
 }
+
+func TestParseRowWithCustomMetrics(t *testing.T) {
+	// The testing package sorts custom metrics alphabetically, so a
+	// ReportMetric unit can land between ns/op and the -benchmem columns;
+	// the tokenizing parser must keep everything after it.
+	line := "BenchmarkMillionSink/100k-8 \t 1\t4123456789 ns/op\t 512.5 peak-rss-MB\t 120034 B/op\t 1507 allocs/op"
+	name, e, ok := parseRow(line)
+	if !ok {
+		t.Fatal("row not parsed")
+	}
+	if name != "BenchmarkMillionSink/100k" {
+		t.Fatalf("name = %q", name)
+	}
+	if e.Iterations != 1 || e.NsPerOp != 4123456789 || e.BytesPerOp != 120034 || e.AllocsPerOp != 1507 {
+		t.Fatalf("fields wrong: %+v", e)
+	}
+	if e.Extra["peak-rss-MB"] != 512.5 {
+		t.Fatalf("Extra = %v", e.Extra)
+	}
+}
+
+func TestParseRowRejectsNonRows(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tcontango\t10.5s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkNoNs-8 3 77 widgets/op",
+		"",
+	} {
+		if _, _, ok := parseRow(line); ok {
+			t.Errorf("parsed non-row %q", line)
+		}
+	}
+}
+
+func TestCompareGatesMemory(t *testing.T) {
+	mk := func(entries map[string]Entry) *Snapshot { return &Snapshot{Benchmarks: entries} }
+	base := mk(map[string]Entry{
+		"BenchmarkBig":  {NsPerOp: 1e9, BytesPerOp: 1e6, AllocsPerOp: 1e4},
+		"BenchmarkTiny": {NsPerOp: 1e9, BytesPerOp: 100, AllocsPerOp: 10},
+	})
+	cur := mk(map[string]Entry{
+		// ns/op unchanged, memory regressed 2x: both dimensions must gate.
+		"BenchmarkBig": {NsPerOp: 1e9, BytesPerOp: 2e6, AllocsPerOp: 2e4},
+		// Tiny memory baselines only warn.
+		"BenchmarkTiny": {NsPerOp: 1e9, BytesPerOp: 300, AllocsPerOp: 40},
+	})
+	regs, notes := compare(base, cur, 0.30, 1e7, "")
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want B/op and allocs/op for BenchmarkBig", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "BenchmarkBig") {
+			t.Fatalf("unexpected regression %q", r)
+		}
+	}
+	floorNotes := 0
+	for _, n := range notes {
+		if strings.Contains(n, "BenchmarkTiny") && strings.Contains(n, "below gating floor") {
+			floorNotes++
+		}
+	}
+	if floorNotes != 2 {
+		t.Fatalf("tiny-baseline notes = %d, want 2 (%v)", floorNotes, notes)
+	}
+	// Within threshold: quiet.
+	ok := mk(map[string]Entry{
+		"BenchmarkBig":  {NsPerOp: 1e9, BytesPerOp: 1.2e6, AllocsPerOp: 1.1e4},
+		"BenchmarkTiny": {NsPerOp: 1e9, BytesPerOp: 100, AllocsPerOp: 10},
+	})
+	if regs, _ := compare(base, ok, 0.30, 1e7, ""); len(regs) != 0 {
+		t.Fatalf("in-threshold memory drift gated: %v", regs)
+	}
+}

@@ -1,8 +1,14 @@
 // Command benchgen writes synthetic benchmarks in the library's text format:
-// the ISPD'09-style contest suite or samples of the TI-style 135K-sink pool.
+// the ISPD'09-style contest suite, samples of the TI-style 135K-sink pool,
+// or streamed TI-scale cases for sink counts past the pool size.
 //
 //	benchgen -out bench/                 # the seven contest benchmarks
 //	benchgen -ti 5000 -seed 3 -out bench # one TI sample with 5000 sinks
+//	benchgen -sinks 100000 -out bench    # streamed TI-scale case (alias of -ti)
+//
+// Counts above the 135K pool switch to the streaming generator, which never
+// materializes the sink list and scales the die to keep placement density at
+// the real chip's level — the path the million-sink scale benchmarks use.
 package main
 
 import (
@@ -14,36 +20,84 @@ import (
 	"contango/internal/bench"
 )
 
+// maxReasonableSinks is where we start warning: cases past 2M sinks are
+// fine for the generator but unlikely to be synthesizable in one session.
+const maxReasonableSinks = 2_000_000
+
 func main() {
 	out := flag.String("out", ".", "output directory")
 	ti := flag.Int("ti", 0, "generate a TI-style sample with this many sinks instead of the contest suite")
+	sinks := flag.Int("sinks", 0, "alias of -ti: TI-style sink count")
 	seed := flag.Int64("seed", 1, "sampling seed for TI mode")
 	flag.Parse()
 
+	n := *ti
+	if *sinks != 0 {
+		if *ti != 0 && *ti != *sinks {
+			fatal(fmt.Errorf("benchgen: -ti %d and -sinks %d disagree; pass one", *ti, *sinks))
+		}
+		n = *sinks
+	}
+	if n < 0 || (flagPassed("sinks") || flagPassed("ti")) && n == 0 {
+		fatal(fmt.Errorf("benchgen: sink count must be positive, got %d", n))
+	}
+	if n > maxReasonableSinks {
+		fmt.Fprintf(os.Stderr, "benchgen: warning: %d sinks exceeds %d; generation streams fine but synthesis will be very slow\n",
+			n, maxReasonableSinks)
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	write := func(b *bench.Benchmark) {
 		path := filepath.Join(*out, b.Name+".cns")
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := bench.Write(f, b); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f.Close()
 		fmt.Printf("wrote %s (%d sinks, %d obstacles)\n", path, len(b.Sinks), len(b.Obstacles))
 	}
-	if *ti > 0 {
+	switch {
+	case n > 135000:
+		// Past the pool size: stream, never holding the sink list in memory.
+		path := filepath.Join(*out, fmt.Sprintf("ti-scale-%d.cns", n))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.GenerateTIScale(f, n, *seed); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d sinks, streamed)\n", path, n)
+	case n > 0:
 		pool := bench.NewTIPool()
-		write(pool.Sample(*ti, *seed))
-		return
+		write(pool.Sample(n, *seed))
+	default:
+		for _, b := range bench.ISPD09Suite() {
+			write(b)
+		}
 	}
-	for _, b := range bench.ISPD09Suite() {
-		write(b)
-	}
+}
+
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -178,10 +178,9 @@ func loadBench(name string) (*bench.Benchmark, error) {
 	if b, err := bench.ISPD09(name); err == nil {
 		return b, nil
 	}
-	f, err := os.Open(name)
+	b, err := bench.Load(name)
 	if err != nil {
-		return nil, fmt.Errorf("not a named benchmark and cannot open file: %w", err)
+		return nil, fmt.Errorf("not a named benchmark: %w", err)
 	}
-	defer f.Close()
-	return bench.Read(f)
+	return b, nil
 }

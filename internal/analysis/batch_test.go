@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"contango/internal/corners"
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// batchFixture builds a three-stage buffered tree with branching, snakes and
+// mixed widths, so the batched kernels see multi-stage arrival chaining,
+// load pins, and sink maps.
+func batchFixture(tk *tech.Tech) *ctree.Tree {
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	m := tr.AddChild(tr.Root, ctree.Internal, geom.Pt(800, 0))
+	b1 := tr.InsertOnEdge(m, 400, ctree.Buffer)
+	b1.Buf = &tech.Composite{Type: tk.Inverters[1], N: 4}
+	s1 := tr.AddSink(m, geom.Pt(1400, 300), 35, "s1")
+	tr.SetWidth(s1, 1)
+	s2 := tr.AddSink(m, geom.Pt(1200, -500), 28, "s2")
+	tr.SetSnake(s2, 90)
+	far := tr.AddSink(m, geom.Pt(2600, 100), 40, "far")
+	b2 := tr.InsertOnEdge(far, 900, ctree.Buffer)
+	b2.Buf = &tech.Composite{Type: tk.Inverters[0], N: 2}
+	return tr
+}
+
+func batchCornerSets(t *testing.T, tk *tech.Tech) map[string][]tech.Corner {
+	t.Helper()
+	sets := map[string][]tech.Corner{}
+	for _, name := range []string{"pvt5", "mc:8:1"} {
+		cs, err := corners.Build(name, tk)
+		if err != nil {
+			t.Fatalf("corners.Build(%q): %v", name, err)
+		}
+		sets[name] = cs.Corners
+	}
+	return sets
+}
+
+// TestBatchedCornersBitIdentical: EvaluateCorners must reproduce a serial
+// per-corner Evaluate loop bit for bit, for every closed-form evaluator and
+// both generated corner-set families.
+func TestBatchedCornersBitIdentical(t *testing.T) {
+	tk := tech.Default45()
+	tr := batchFixture(tk)
+	for setName, cs := range batchCornerSets(t, tk) {
+		mk := map[string]func() CornerEvaluator{
+			"elmore":      func() CornerEvaluator { return &Elmore{} },
+			"twopole":     func() CornerEvaluator { return &TwoPole{} },
+			"inc-elmore":  func() CornerEvaluator { return &IncrementalElmore{} },
+			"inc-twopole": func() CornerEvaluator { return &IncrementalTwoPole{} },
+		}
+		for evName, newEv := range mk {
+			// Separate instances so the incremental evaluators' caches
+			// cannot leak state between the serial and batched runs.
+			serialEv := newEv().(Evaluator)
+			var want []*Result
+			for _, c := range cs {
+				r, err := serialEv.Evaluate(tr, c)
+				if err != nil {
+					t.Fatalf("%s/%s serial: %v", evName, setName, err)
+				}
+				want = append(want, r)
+			}
+			batchEv := newEv()
+			for _, pass := range []string{"cold", "warm"} {
+				got, err := batchEv.EvaluateCorners(tr, cs)
+				if err != nil {
+					t.Fatalf("%s/%s batch: %v", evName, setName, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s: %d results, want %d", evName, setName, len(got), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Errorf("%s/%s/%s corner %q: batched result differs from serial",
+							evName, setName, pass, cs[i].Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKernelsMatchSerial: the raw batched recurrences agree bit for bit
+// with the single-corner kernels at every node, for arbitrary derates.
+func TestBatchKernelsMatchSerial(t *testing.T) {
+	tk := tech.Default45()
+	tr := batchFixture(tk)
+	net := Extract(tr, 100)
+	cs := []tech.Corner{
+		{Name: "a", Vdd: 1.1},
+		{Name: "b", Vdd: 1.0, RDerate: 1.17, CDerate: 0.93},
+		{Name: "c", Vdd: 0.9, RDerate: 0.85, CDerate: 1.21},
+	}
+	K := len(cs)
+	rd := make([]float64, K)
+	rs := make([]float64, K)
+	csc := make([]float64, K)
+	for _, s := range net.Stages {
+		n := len(s.R)
+		cornerDerates(net, s, cs, rd, rs, csc)
+		cdown := make([]float64, K*n)
+		d := make([]float64, K*n)
+		stageElmoreBatchInto(s, rd, rs, csc, cdown, d)
+		b := make([]float64, K*n)
+		m1 := make([]float64, K*n)
+		m2 := make([]float64, K*n)
+		stageMomentsBatchInto(s, rd, rs, csc, cdown, b, m1, m2)
+		for k, c := range cs {
+			wantD := stageElmoreScaled(s, rd[k], c.RScale(), c.CScale())
+			if !reflect.DeepEqual(d[k*n:(k+1)*n], wantD) {
+				t.Fatalf("stage %d corner %d: batched Elmore differs", s.Index, k)
+			}
+			w1, w2 := stageMomentsScaled(s, rd[k], c.RScale(), c.CScale())
+			if !reflect.DeepEqual(m1[k*n:(k+1)*n], w1) || !reflect.DeepEqual(m2[k*n:(k+1)*n], w2) {
+				t.Fatalf("stage %d corner %d: batched moments differ", s.Index, k)
+			}
+			// And the windowing helper agrees with the max of the vector.
+			max := 0.0
+			for _, v := range wantD {
+				if v > max {
+					max = v
+				}
+			}
+			if got := StageElmoreMaxAt(s, rd[k], c); got != max {
+				t.Fatalf("stage %d corner %d: StageElmoreMaxAt %v != %v", s.Index, k, got, max)
+			}
+		}
+	}
+}

@@ -30,8 +30,10 @@ func (e *Elmore) Name() string { return "elmore" }
 // bit-identical to the pre-derate recurrence.
 func stageElmoreScaled(s *Stage, rd, rs, cs float64) []float64 {
 	n := len(s.R)
-	cdown := make([]float64, n)
-	for i := range cdown {
+	ks := kernelPool.Get().(*kernelScratch)
+	ks.a = growFloats(ks.a, n)
+	cdown := ks.a
+	for i := 0; i < n; i++ {
 		cdown[i] = s.C[i] * cs
 	}
 	for i := n - 1; i >= 1; i-- {
@@ -42,6 +44,7 @@ func stageElmoreScaled(s *Stage, rd, rs, cs float64) []float64 {
 	for i := 1; i < n; i++ {
 		d[i] = d[s.Par[i]] + s.R[i]*rs*cdown[i]
 	}
+	kernelPool.Put(ks)
 	return d
 }
 
@@ -160,8 +163,11 @@ func (e *TwoPole) Name() string { return "twopole" }
 // rs = cs = 1 reproduces the pre-derate recurrences bit for bit).
 func stageMomentsScaled(s *Stage, rd, rs, cs float64) (m1, m2 []float64) {
 	n := len(s.R)
-	cdown := make([]float64, n)
-	for i := range cdown {
+	ks := kernelPool.Get().(*kernelScratch)
+	ks.a = growFloats(ks.a, n)
+	ks.b = growFloats(ks.b, n)
+	cdown := ks.a
+	for i := 0; i < n; i++ {
 		cdown[i] = s.C[i] * cs
 	}
 	for i := n - 1; i >= 1; i-- {
@@ -172,8 +178,12 @@ func stageMomentsScaled(s *Stage, rd, rs, cs float64) (m1, m2 []float64) {
 	for i := 1; i < n; i++ {
 		m1[i] = m1[s.Par[i]] + s.R[i]*rs*cdown[i]
 	}
-	// b[i] = Σ_{k in subtree(i)} C_k · m1_k
-	b := make([]float64, n)
+	// b[i] = Σ_{k in subtree(i)} C_k · m1_k; the pooled buffer replaces
+	// make's zero-init explicitly (0 + x preserves the accumulation bits).
+	b := ks.b
+	for i := range b {
+		b[i] = 0
+	}
 	for i := n - 1; i >= 0; i-- {
 		b[i] += s.C[i] * cs * m1[i]
 		if s.Par[i] >= 0 {

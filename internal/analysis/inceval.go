@@ -104,18 +104,102 @@ func (e *IncrementalElmore) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Resul
 	return res, nil
 }
 
-// EvaluateCorners implements CornerEvaluator (extraction shared, per-corner
-// propagation reused from the per-stage caches).
+// EvaluateCorners implements CornerEvaluator: one extractor sync, then one
+// stage-loop over the whole corner set, with the stages missing from a
+// corner's cache recomputed by the batched kernel — a single topology
+// traversal instead of one per corner. Per-corner arithmetic matches
+// Evaluate exactly (the batch kernel preserves each corner's operation
+// order), so results and cache contents are bit-identical to the serial
+// per-corner loop.
 func (e *IncrementalElmore) EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*Result, error) {
-	out := make([]*Result, len(corners))
-	for i, c := range corners {
-		r, err := e.Evaluate(tr, c)
+	if len(corners) == 1 {
+		r, err := e.Evaluate(tr, corners[0])
 		if err != nil {
 			return nil, err
 		}
-		out[i] = r
+		return []*Result{r}, nil
 	}
-	return out, nil
+	e.bind(tr)
+	net := e.inc.Sync()
+	K := len(corners)
+	limit := tr.Tech.SlewLimit
+	results := make([]*Result, K)
+	entries := make([]map[int]*elmoreEntry, K)
+	nexts := make([]map[int]*elmoreEntry, K)
+	arrivals := make([][]float64, K)
+	for k, c := range corners {
+		entries[k] = e.cache[c]
+		nexts[k] = make(map[int]*elmoreEntry, len(net.Stages))
+		arrivals[k] = make([]float64, len(net.Stages))
+		results[k] = newResult(c)
+	}
+	ents := make([]*elmoreEntry, K)
+	missK := make([]int, 0, K)
+	missRd := make([]float64, K)
+	missRs := make([]float64, K)
+	missCs := make([]float64, K)
+	ks := kernelPool.Get().(*kernelScratch)
+	for _, s := range net.Stages {
+		key := driverKey(s.Driver)
+		missK = missK[:0]
+		for k, c := range corners {
+			rd := net.DriverR(s, c)
+			ent := entries[k][key]
+			if ent == nil || ent.stage != s || ent.rd != rd {
+				j := len(missK)
+				missK = append(missK, k)
+				missRd[j] = rd
+				missRs[j] = c.RScale()
+				missCs[j] = c.CScale()
+				ent = nil
+			}
+			ents[k] = ent
+		}
+		if m := len(missK); m > 0 {
+			n := len(s.R)
+			ks.a = growFloats(ks.a, m*n)
+			block := make([]float64, m*n) // owned by the new cache entries
+			stageElmoreBatchInto(s, missRd[:m], missRs[:m], missCs[:m], ks.a, block)
+			for j, k := range missK {
+				ent := &elmoreEntry{stage: s, rd: missRd[j], d: block[j*n : (j+1)*n : (j+1)*n]}
+				for _, v := range ent.d {
+					slew := ln9 * v
+					if slew > ent.maxSlew {
+						ent.maxSlew = slew
+					}
+					if slew > limit {
+						ent.viol++
+					}
+				}
+				ents[k] = ent
+			}
+		}
+		for k := range corners {
+			ent := ents[k]
+			nexts[k][key] = ent
+			res := results[k]
+			base := arrivals[k][s.Index]
+			for _, ci := range s.Children {
+				arrivals[k][ci] = base + ent.d[net.Stages[ci].InputNode]
+			}
+			for _, m := range s.Sinks {
+				t := base + ent.d[m.Node]
+				res.Rise[m.Sink.ID] = t
+				res.Fall[m.Sink.ID] = t
+				res.SinkSlew[m.Sink.ID] = ln9 * ent.d[m.Node]
+			}
+			res.StageSlew[key] = ent.maxSlew
+			if ent.maxSlew > res.MaxSlew {
+				res.MaxSlew = ent.maxSlew
+			}
+			res.SlewViol += ent.viol
+		}
+	}
+	kernelPool.Put(ks)
+	for k, c := range corners {
+		e.cache[c] = nexts[k]
+	}
+	return results, nil
 }
 
 // twoPoleEntry caches one stage's first two moments at one driver
@@ -207,17 +291,105 @@ func (e *IncrementalTwoPole) Evaluate(tr *ctree.Tree, corner tech.Corner) (*Resu
 	return res, nil
 }
 
-// EvaluateCorners implements CornerEvaluator.
+// EvaluateCorners implements CornerEvaluator with the batched moment
+// kernel: one extractor sync and one stage-loop over the whole corner set,
+// bit-identical to the serial per-corner path (see IncrementalElmore).
 func (e *IncrementalTwoPole) EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*Result, error) {
-	out := make([]*Result, len(corners))
-	for i, c := range corners {
-		r, err := e.Evaluate(tr, c)
+	if len(corners) == 1 {
+		r, err := e.Evaluate(tr, corners[0])
 		if err != nil {
 			return nil, err
 		}
-		out[i] = r
+		return []*Result{r}, nil
 	}
-	return out, nil
+	e.bind(tr)
+	net := e.inc.Sync()
+	K := len(corners)
+	limit := tr.Tech.SlewLimit
+	results := make([]*Result, K)
+	entries := make([]map[int]*twoPoleEntry, K)
+	nexts := make([]map[int]*twoPoleEntry, K)
+	arrivals := make([][]float64, K)
+	for k, c := range corners {
+		entries[k] = e.cache[c]
+		nexts[k] = make(map[int]*twoPoleEntry, len(net.Stages))
+		arrivals[k] = make([]float64, len(net.Stages))
+		results[k] = newResult(c)
+	}
+	ents := make([]*twoPoleEntry, K)
+	missK := make([]int, 0, K)
+	missRd := make([]float64, K)
+	missRs := make([]float64, K)
+	missCs := make([]float64, K)
+	ks := kernelPool.Get().(*kernelScratch)
+	for _, s := range net.Stages {
+		key := driverKey(s.Driver)
+		missK = missK[:0]
+		for k, c := range corners {
+			rd := net.DriverR(s, c)
+			ent := entries[k][key]
+			if ent == nil || ent.stage != s || ent.rd != rd {
+				j := len(missK)
+				missK = append(missK, k)
+				missRd[j] = rd
+				missRs[j] = c.RScale()
+				missCs[j] = c.CScale()
+				ent = nil
+			}
+			ents[k] = ent
+		}
+		if m := len(missK); m > 0 {
+			n := len(s.R)
+			ks.a = growFloats(ks.a, m*n)
+			ks.b = growFloats(ks.b, m*n)
+			m1 := make([]float64, m*n) // owned by the new cache entries
+			m2 := make([]float64, m*n)
+			stageMomentsBatchInto(s, missRd[:m], missRs[:m], missCs[:m], ks.a, ks.b, m1, m2)
+			for j, k := range missK {
+				ent := &twoPoleEntry{
+					stage: s, rd: missRd[j],
+					m1: m1[j*n : (j+1)*n : (j+1)*n],
+					m2: m2[j*n : (j+1)*n : (j+1)*n],
+				}
+				for i := range ent.m1 {
+					slew := slewFromMoments(ent.m1[i], ent.m2[i])
+					if slew > ent.maxSlew {
+						ent.maxSlew = slew
+					}
+					if slew > limit {
+						ent.viol++
+					}
+				}
+				ents[k] = ent
+			}
+		}
+		for k := range corners {
+			ent := ents[k]
+			nexts[k][key] = ent
+			res := results[k]
+			base := arrivals[k][s.Index]
+			for _, ci := range s.Children {
+				child := net.Stages[ci]
+				arrivals[k][ci] = base + d2m(ent.m1[child.InputNode], ent.m2[child.InputNode])
+			}
+			for _, m := range s.Sinks {
+				t := base + d2m(ent.m1[m.Node], ent.m2[m.Node])
+				res.Rise[m.Sink.ID] = t
+				res.Fall[m.Sink.ID] = t
+				res.SinkSlew[m.Sink.ID] = slewFromMoments(ent.m1[m.Node], ent.m2[m.Node])
+			}
+			res.StageSlew[key] = ent.maxSlew
+			if ent.maxSlew > res.MaxSlew {
+				res.MaxSlew = ent.maxSlew
+			}
+			res.SlewViol += ent.viol
+		}
+	}
+	kernelPool.Put(ks)
+	for k, c := range corners {
+		e.cache[c] = nexts[k]
+	}
+	return results, nil
 }
 
 var (

@@ -49,6 +49,13 @@ func Read(r io.Reader) (*Benchmark, error) {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			// Scale-generated files carry a "# sinks n" hint so the sink
+			// slice can be sized once instead of doubling its way up.
+			if f := strings.Fields(line); len(f) == 3 && f[0] == "#" && f[1] == "sinks" {
+				if n, err := strconv.Atoi(f[2]); err == nil && n > 0 && n <= 4<<20 && b.Sinks == nil {
+					b.Sinks = make([]dme.Sink, 0, n)
+				}
+			}
 			continue
 		}
 		f := strings.Fields(line)

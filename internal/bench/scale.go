@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"contango/internal/geom"
+)
+
+// Stats summarizes a benchmark's load without retaining it: sink count,
+// sink bounding box, and total pin capacitance. The scheduler's cost model
+// keys off these instead of re-deriving them ad hoc.
+type Stats struct {
+	Sinks    int
+	BBox     geom.Rect
+	CapTotal float64 // fF, sinks only
+}
+
+// Stats computes the summary in one pass over the sink list.
+func (b *Benchmark) Stats() Stats {
+	st := Stats{Sinks: len(b.Sinks)}
+	for i := range b.Sinks {
+		s := &b.Sinks[i]
+		st.CapTotal += s.Cap
+		if i == 0 {
+			st.BBox = geom.NewRect(s.Loc.X, s.Loc.Y, s.Loc.X, s.Loc.Y)
+			continue
+		}
+		if s.Loc.X < st.BBox.MinX {
+			st.BBox.MinX = s.Loc.X
+		}
+		if s.Loc.X > st.BBox.MaxX {
+			st.BBox.MaxX = s.Loc.X
+		}
+		if s.Loc.Y < st.BBox.MinY {
+			st.BBox.MinY = s.Loc.Y
+		}
+		if s.Loc.Y > st.BBox.MaxY {
+			st.BBox.MaxY = s.Loc.Y
+		}
+	}
+	return st
+}
+
+// Load reads a benchmark file from disk through a sized buffered reader.
+// Errors carry the path; parse errors keep Read's line numbers.
+func Load(path string) (*Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	defer f.Close()
+	b, err := Read(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// tiBaseSinks is the TI pool's published sink-location count; scale cases
+// grow the die so placement density stays at the real chip's level.
+const tiBaseSinks = 135000
+
+// GenerateTIScale streams a TI-style benchmark with n sinks directly to w
+// without materializing the sink slice, so million-sink cases cost O(1)
+// generator memory. The die grows with sqrt(n/135000) to hold density
+// constant; layout statistics (register rows, macro-shadow void, pin caps)
+// match NewTIPool's distribution. Output is the standard text format plus a
+// "# sinks n" hint comment that Read uses to presize its sink slice.
+// Deterministic per (n, seed).
+func GenerateTIScale(w io.Writer, n int, seed int64) error {
+	if n <= 0 {
+		return fmt.Errorf("bench: ti-scale needs a positive sink count, got %d", n)
+	}
+	scale := 1.0
+	if n > tiBaseSinks {
+		scale = sqrt(float64(n) / tiBaseSinks)
+	}
+	die := geom.NewRect(0, 0, 4200*scale, 3000*scale)
+	source := geom.Pt(0, die.H()/2)
+
+	// The cap budget uses the same closed form as the generated suites,
+	// computed from the counts alone so no sink list is needed.
+	wl := 0.75 * sqrt(float64(n)*die.Area())
+	capLimit := 2.6*wl*0.3 + 180*float64(n)
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# contango benchmark\n# sinks %d\n", n)
+	fmt.Fprintf(bw, "name ti-scale-%d\n", n)
+	fmt.Fprintf(bw, "die %g %g %g %g\n", die.MinX, die.MinY, die.MaxX, die.MaxY)
+	fmt.Fprintf(bw, "source %g %g\n", source.X, source.Y)
+	fmt.Fprintf(bw, "sourcer %g\n", 0.1)
+	fmt.Fprintf(bw, "caplimit %g\n", capLimit)
+
+	rng := rand.New(rand.NewSource(seed))
+	const rows = 60
+	voidMinX, voidMaxX := 1000*scale, 2000*scale
+	voidMinY, voidMaxY := 800*scale, 1800*scale
+	for i := 0; i < n; {
+		row := rng.Intn(rows)
+		y := die.MinY + (float64(row)+0.5)*die.H()/rows + rng.NormFloat64()*4
+		x := die.MinX + rng.Float64()*die.W()
+		if rng.Float64() < 0.25 && x > voidMinX && x < voidMaxX && y > voidMinY && y < voidMaxY {
+			continue
+		}
+		if !die.Contains(geom.Pt(x, y)) {
+			continue
+		}
+		cap := 1.5 + rng.Float64()*2
+		fmt.Fprintf(bw, "sink ff%d %g %g %g\n", i, x, y, cap)
+		i++
+	}
+	return bw.Flush()
+}

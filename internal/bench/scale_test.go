@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	b, err := ISPD09("ispd09f22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Sinks != len(b.Sinks) {
+		t.Fatalf("Sinks = %d, want %d", st.Sinks, len(b.Sinks))
+	}
+	var capSum float64
+	for _, s := range b.Sinks {
+		capSum += s.Cap
+		if !st.BBox.Contains(s.Loc) {
+			t.Fatalf("sink %s outside reported bbox", s.Name)
+		}
+	}
+	if st.CapTotal != capSum {
+		t.Fatalf("CapTotal = %v, want %v", st.CapTotal, capSum)
+	}
+	if st.BBox.W() <= 0 || st.BBox.H() <= 0 {
+		t.Fatalf("degenerate bbox %+v", st.BBox)
+	}
+}
+
+func TestLoadRoundTripAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	b, err := ISPD09("ispd09f22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f22.bench")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != b.Name || len(got.Sinks) != len(b.Sinks) {
+		t.Fatalf("Load mismatch: %s/%d vs %s/%d", got.Name, len(got.Sinks), b.Name, len(b.Sinks))
+	}
+	// Missing file errors name the path.
+	if _, err := Load(filepath.Join(dir, "absent.bench")); err == nil || !strings.Contains(err.Error(), "absent.bench") {
+		t.Fatalf("missing-file error lacks path: %v", err)
+	}
+	// Parse errors keep the line number and gain the path.
+	badPath := filepath.Join(dir, "bad.bench")
+	if err := os.WriteFile(badPath, []byte("name x\ndie 0 0 10 10\nsink broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(badPath)
+	if err == nil || !strings.Contains(err.Error(), "bad.bench") || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("parse error missing path or line: %v", err)
+	}
+}
+
+func TestGenerateTIScale(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 5000
+	if err := GenerateTIScale(&buf, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# sinks 5000\n") {
+		t.Fatal("missing sink-count hint comment")
+	}
+	b, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sinks) != n {
+		t.Fatalf("sinks = %d, want %d", len(b.Sinks), n)
+	}
+	if cap(b.Sinks) != n {
+		t.Fatalf("hint did not presize: cap = %d, want %d", cap(b.Sinks), n)
+	}
+	if b.CapLimit <= 0 || b.SourceR != 0.1 {
+		t.Fatalf("bad header fields: caplimit %v sourcer %v", b.CapLimit, b.SourceR)
+	}
+	for i := range b.Sinks {
+		if !b.Die.Contains(b.Sinks[i].Loc) {
+			t.Fatalf("sink %d outside die", i)
+		}
+	}
+	// At the pool's own size the die matches the TI chip; above it, the die
+	// area grows linearly with n (constant density).
+	var small, big bytes.Buffer
+	if err := GenerateTIScale(&small, 135000/100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateTIScale(&big, 270000, 1); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Read(bytes.NewReader(small.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Read(bytes.NewReader(big.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Die.W() != 4200 || bs.Die.H() != 3000 {
+		t.Fatalf("sub-pool die should stay 4200x3000, got %gx%g", bs.Die.W(), bs.Die.H())
+	}
+	ratio := bb.Die.Area() / bs.Die.Area()
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("2x sinks should give ~2x area, got ratio %v", ratio)
+	}
+	// Determinism: same (n, seed) gives identical bytes.
+	var again bytes.Buffer
+	if err := GenerateTIScale(&again, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("GenerateTIScale not deterministic")
+	}
+	// Invalid counts are rejected.
+	if err := GenerateTIScale(&bytes.Buffer{}, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

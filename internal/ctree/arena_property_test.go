@@ -1,0 +1,258 @@
+package ctree_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// The arena is only trustworthy if an arbitrary interleaving of journaling
+// setters and structural surgery leaves it indistinguishable from the
+// pointer tree: same reconstructed tree, same dirty set, bit-identical
+// evaluation results. This property test drives both representations with
+// mirrored random mutation sequences and checks all three.
+
+// propFixture seeds a tree with enough structure that every op class has
+// candidates: a buffer chain, branch points, and a handful of sinks.
+func propFixture(rng *rand.Rand, tk *tech.Tech) *ctree.Tree {
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	comp := tech.Composite{Type: tk.Inverters[1], N: 4}
+	trunk := tr.AddChild(tr.Root, ctree.Buffer, geom.Pt(500, 50))
+	c := comp
+	trunk.Buf = &c
+	hubs := []*ctree.Node{trunk}
+	for i := 0; i < 3; i++ {
+		p := hubs[rng.Intn(len(hubs))]
+		hubs = append(hubs, tr.AddChild(p, ctree.Internal,
+			geom.Pt(p.Loc.X+200+rng.Float64()*400, p.Loc.Y+rng.Float64()*400-200)))
+	}
+	for i := 0; i < 6; i++ {
+		p := hubs[rng.Intn(len(hubs))]
+		tr.AddSink(p, geom.Pt(p.Loc.X+100+rng.Float64()*200, p.Loc.Y+rng.Float64()*200),
+			15+rng.Float64()*30, "")
+	}
+	return tr
+}
+
+// liveNodes returns the IDs of all live nodes satisfying keep.
+func liveNodes(tr *ctree.Tree, keep func(*ctree.Node) bool) []int {
+	var ids []int
+	for id := 0; id < tr.MaxID(); id++ {
+		if n := tr.Node(id); n != nil && keep(n) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// inSubtree reports whether target is inside n's subtree (including n).
+func inSubtree(n, target *ctree.Node) bool {
+	stack := []*ctree.Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		stack = append(stack, cur.Children...)
+	}
+	return false
+}
+
+// mutateBoth applies one random mutation to the tree and mirrors it on the
+// arena; it returns false when the drawn op class had no candidate.
+func mutateBoth(rng *rand.Rand, tr *ctree.Tree, a *ctree.Arena, tk *tech.Tech) bool {
+	pick := func(ids []int) (int, bool) {
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[rng.Intn(len(ids))], true
+	}
+	nonRoot := func(n *ctree.Node) bool { return n.Parent != nil }
+	switch rng.Intn(10) {
+	case 0: // width change
+		id, ok := pick(liveNodes(tr, nonRoot))
+		if !ok {
+			return false
+		}
+		w := rng.Intn(len(tk.Wires))
+		tr.SetWidth(tr.Node(id), w)
+		a.SetWidth(int32(id), w)
+	case 1: // absolute snake
+		id, ok := pick(liveNodes(tr, nonRoot))
+		if !ok {
+			return false
+		}
+		v := rng.Float64() * 40
+		tr.SetSnake(tr.Node(id), v)
+		a.SetSnake(int32(id), v)
+	case 2: // relative snake
+		id, ok := pick(liveNodes(tr, nonRoot))
+		if !ok {
+			return false
+		}
+		dv := rng.Float64() * 15
+		tr.AddSnake(tr.Node(id), dv)
+		a.AddSnake(int32(id), dv)
+	case 3: // buffer resize
+		id, ok := pick(liveNodes(tr, func(n *ctree.Node) bool { return n.Buf != nil }))
+		if !ok {
+			return false
+		}
+		k := 1 + rng.Intn(8)
+		tr.SetBufferSize(tr.Node(id), k)
+		a.SetBufferSize(int32(id), k)
+	case 4: // edge split
+		id, ok := pick(liveNodes(tr, nonRoot))
+		if !ok {
+			return false
+		}
+		n := tr.Node(id)
+		d := rng.Float64() * n.EdgeLen()
+		mid := tr.InsertOnEdge(n, d, ctree.Internal)
+		amid := a.InsertOnEdge(int32(id), d, ctree.Internal)
+		if int32(mid.ID) != amid {
+			panic("insert slot diverged from node ID")
+		}
+	case 5: // slide a degree-2 node
+		id, ok := pick(liveNodes(tr, func(n *ctree.Node) bool {
+			return n.Parent != nil && len(n.Children) == 1
+		}))
+		if !ok {
+			return false
+		}
+		n := tr.Node(id)
+		total := n.EdgeLen() + n.Children[0].EdgeLen()
+		d := rng.Float64() * total
+		tr.SlideDegree2(n, d)
+		a.SlideDegree2(int32(id), d)
+	case 6: // splice out a degree-2 internal
+		id, ok := pick(liveNodes(tr, func(n *ctree.Node) bool {
+			return n.Parent != nil && len(n.Children) == 1 && n.Kind == ctree.Internal
+		}))
+		if !ok {
+			return false
+		}
+		tr.RemoveDegree2(tr.Node(id))
+		a.RemoveDegree2(int32(id))
+	case 7: // grow a sink
+		id, ok := pick(liveNodes(tr, func(n *ctree.Node) bool { return n.Kind != ctree.Sink }))
+		if !ok {
+			return false
+		}
+		p := tr.Node(id)
+		loc := geom.Pt(p.Loc.X+50+rng.Float64()*150, p.Loc.Y+rng.Float64()*150)
+		cap := 10 + rng.Float64()*20
+		ns := tr.AddSink(p, loc, cap, "")
+		ans := a.AddSink(int32(id), loc, cap, "")
+		if int32(ns.ID) != ans {
+			panic("sink slot diverged from node ID")
+		}
+	case 8: // reparent a subtree
+		id, ok := pick(liveNodes(tr, nonRoot))
+		if !ok {
+			return false
+		}
+		n := tr.Node(id)
+		tid, ok := pick(liveNodes(tr, func(c *ctree.Node) bool {
+			return c.Kind != ctree.Sink && !inSubtree(n, c)
+		}))
+		if !ok {
+			return false
+		}
+		tr.Detach(n)
+		a.Detach(int32(id))
+		tr.Attach(n, tr.Node(tid), nil)
+		a.Attach(int32(id), int32(tid), nil)
+	case 9: // prune a small subtree (keep the net evaluable)
+		ids := liveNodes(tr, func(n *ctree.Node) bool {
+			return n.Parent != nil && len(n.Children) == 0 && n.Kind != ctree.Sink
+		})
+		if len(tr.Sinks()) > 2 {
+			ids = append(ids, liveNodes(tr, func(n *ctree.Node) bool {
+				return n.Parent != nil && n.Kind == ctree.Sink
+			})...)
+		}
+		id, ok := pick(ids)
+		if !ok {
+			return false
+		}
+		tr.DeleteSubtree(tr.Node(id))
+		a.DeleteSubtree(int32(id))
+	}
+	return true
+}
+
+func TestArenaPropertyRandomMutations(t *testing.T) {
+	tk := tech.Default45()
+	corner := tech.Corner{Name: "stress", Vdd: 1.05, RDerate: 1.12, CDerate: 0.94}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := propFixture(rng, tk)
+		a := ctree.FromTree(tr)
+		gen0 := tr.Gen()
+		applied := 0
+		for step := 0; step < 80; step++ {
+			if mutateBoth(rng, tr, a, tk) {
+				applied++
+			}
+		}
+		if applied < 40 {
+			t.Fatalf("seed %d: only %d ops applied; generator too narrow", seed, applied)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: tree invalid after ops: %v", seed, err)
+		}
+
+		// 1. Structural equivalence through the lossless converter.
+		back, err := a.ToTree()
+		if err != nil {
+			t.Fatalf("seed %d: ToTree: %v", seed, err)
+		}
+
+		// 2. Journal equivalence: dirty bitmap == pointer journal.
+		want := map[int]bool{}
+		for _, id := range tr.TouchedSince(gen0) {
+			want[id] = true
+		}
+		got := map[int]bool{}
+		for _, id := range a.DirtyIDs() {
+			got[id] = true
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: dirty sets differ:\n tree  %v\n arena %v", seed, want, got)
+		}
+
+		// 3. Evaluation equivalence, bit for bit, on both closed-form models.
+		for _, ev := range []analysis.Evaluator{&analysis.Elmore{}, &analysis.TwoPole{}} {
+			rt, err := ev.Evaluate(tr, corner)
+			if err != nil {
+				t.Fatalf("seed %d: %s on tree: %v", seed, ev.Name(), err)
+			}
+			ra, err := ev.Evaluate(back, corner)
+			if err != nil {
+				t.Fatalf("seed %d: %s on arena round-trip: %v", seed, ev.Name(), err)
+			}
+			if !reflect.DeepEqual(rt, ra) {
+				t.Fatalf("seed %d: %s results differ between tree and arena round-trip", seed, ev.Name())
+			}
+		}
+
+		// Compact must not change anything observable either.
+		a.Compact()
+		back2, err := a.ToTree()
+		if err != nil {
+			t.Fatalf("seed %d: ToTree after Compact: %v", seed, err)
+		}
+		r1, _ := (&analysis.Elmore{}).Evaluate(back, corner)
+		r2, _ := (&analysis.Elmore{}).Evaluate(back2, corner)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("seed %d: Compact changed evaluation results", seed)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package ctree
+
+import (
+	"reflect"
+	"testing"
+
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// buildArenaFixture grows a small buffered tree with every node flavor:
+// internal merge points, a buffer, sinks, a snaked edge, a deleted node.
+func buildArenaFixture(t *testing.T) *Tree {
+	t.Helper()
+	tr := New(tech.Default45(), geom.Pt(0, 0), 0.05)
+	m := tr.AddChild(tr.Root, Internal, geom.Pt(100, 40))
+	b := tr.InsertOnEdge(m, 60, Buffer)
+	b.Buf = &tech.Composite{Type: tr.Tech.Inverters[1], N: 2}
+	s1 := tr.AddSink(m, geom.Pt(180, 90), 22, "s1")
+	tr.AddSink(m, geom.Pt(140, -30), 31, "s2")
+	tr.SetWidth(s1, 1)
+	tr.SetSnake(s1, 12.5)
+	// Leave a dead ID behind so converters must handle table holes.
+	tmp := tr.AddChild(m, Internal, geom.Pt(120, 50))
+	tr.AddSink(tmp, geom.Pt(130, 60), 5, "dead")
+	tr.DeleteSubtree(tmp)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return tr
+}
+
+// treesEqual compares two trees node by node (IDs, kinds, geometry, edge
+// parameters, buffers, child order).
+func treesEqual(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.SourceR != b.SourceR {
+		t.Fatalf("SourceR %v != %v", a.SourceR, b.SourceR)
+	}
+	if a.MaxID() != b.MaxID() {
+		t.Fatalf("MaxID %d != %d", a.MaxID(), b.MaxID())
+	}
+	for id := 0; id < a.MaxID(); id++ {
+		na, nb := a.Node(id), b.Node(id)
+		if (na == nil) != (nb == nil) {
+			t.Fatalf("node %d liveness mismatch", id)
+		}
+		if na == nil {
+			continue
+		}
+		if na.Kind != nb.Kind || na.Loc != nb.Loc || na.WidthIdx != nb.WidthIdx ||
+			na.Snake != nb.Snake || na.SinkCap != nb.SinkCap || na.Name != nb.Name {
+			t.Fatalf("node %d scalar fields differ: %+v vs %+v", id, na, nb)
+		}
+		if !reflect.DeepEqual(na.Route, nb.Route) {
+			t.Fatalf("node %d route differs: %v vs %v", id, na.Route, nb.Route)
+		}
+		if (na.Buf == nil) != (nb.Buf == nil) {
+			t.Fatalf("node %d buffer presence differs", id)
+		}
+		if na.Buf != nil && *na.Buf != *nb.Buf {
+			t.Fatalf("node %d buffer differs: %+v vs %+v", id, *na.Buf, *nb.Buf)
+		}
+		pa, pb := -1, -1
+		if na.Parent != nil {
+			pa = na.Parent.ID
+		}
+		if nb.Parent != nil {
+			pb = nb.Parent.ID
+		}
+		if pa != pb {
+			t.Fatalf("node %d parent %d != %d", id, pa, pb)
+		}
+		if len(na.Children) != len(nb.Children) {
+			t.Fatalf("node %d child count differs", id)
+		}
+		for i := range na.Children {
+			if na.Children[i].ID != nb.Children[i].ID {
+				t.Fatalf("node %d child order differs", id)
+			}
+		}
+	}
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	tr := buildArenaFixture(t)
+	a := FromTree(tr)
+	if a.NumNodes() != tr.NumNodes() {
+		t.Fatalf("NumNodes %d != %d", a.NumNodes(), tr.NumNodes())
+	}
+	back, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("ToTree: %v", err)
+	}
+	treesEqual(t, tr, back)
+}
+
+func TestArenaMutationsMirrorTree(t *testing.T) {
+	tr := buildArenaFixture(t)
+	a := FromTree(tr)
+	gen0 := tr.Gen()
+
+	// Mirror a mixed mutation sequence on both representations.
+	s1 := tr.Node(3)
+	tr.SetWidth(s1, 0)
+	a.SetWidth(3, 0)
+	tr.AddSnake(s1, 7.25)
+	a.AddSnake(3, 7.25)
+	b := tr.Node(2)
+	tr.SetBufferSize(b, 3)
+	a.SetBufferSize(2, 3)
+	// Insert a node, slide it, splice it back out.
+	mid := tr.InsertOnEdge(s1, 35, Internal)
+	amid := a.InsertOnEdge(3, 35, Internal)
+	if int32(mid.ID) != amid {
+		t.Fatalf("inserted slot %d != node ID %d", amid, mid.ID)
+	}
+	tr.SlideDegree2(mid, 52)
+	a.SlideDegree2(amid, 52)
+	tr.RemoveDegree2(mid)
+	a.RemoveDegree2(amid)
+	// Grow a fresh sink and move it under another parent.
+	ns := tr.AddSink(tr.Node(1), geom.Pt(90, 70), 14, "moved")
+	ans := a.AddSink(1, geom.Pt(90, 70), 14, "moved")
+	if int32(ns.ID) != ans {
+		t.Fatalf("new sink slot %d != node ID %d", ans, ns.ID)
+	}
+	tr.Detach(ns)
+	a.Detach(ans)
+	tr.Attach(ns, tr.Node(2), nil)
+	a.Attach(ans, 2, nil)
+
+	back, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("ToTree after mutations: %v", err)
+	}
+	treesEqual(t, tr, back)
+
+	// Dirty bitmap must mark exactly the set the pointer journal touched.
+	want := map[int]bool{}
+	for _, id := range tr.TouchedSince(gen0) {
+		want[id] = true
+	}
+	got := map[int]bool{}
+	for _, id := range a.DirtyIDs() {
+		got[id] = true
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("dirty sets differ: tree %v, arena %v", want, got)
+	}
+}
+
+func TestArenaCompact(t *testing.T) {
+	tr := buildArenaFixture(t)
+	a := FromTree(tr)
+	// Churn the spans: inserts relocate child lists and routes to the tail.
+	a.InsertOnEdge(3, 20, Internal)
+	a.InsertOnEdge(4, 10, Internal)
+	before, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("ToTree: %v", err)
+	}
+	grew := len(a.RoutePts)
+	a.Compact()
+	if len(a.RoutePts) >= grew {
+		t.Fatalf("Compact did not shrink route storage (%d >= %d)", len(a.RoutePts), grew)
+	}
+	after, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("ToTree after Compact: %v", err)
+	}
+	treesEqual(t, before, after)
+}
+
+func TestArenaDeleteSubtree(t *testing.T) {
+	tr := buildArenaFixture(t)
+	a := FromTree(tr)
+	n := tr.AddChild(tr.Node(1), Internal, geom.Pt(150, 80))
+	tr.AddSink(n, geom.Pt(160, 90), 9, "doomed")
+	an := a.AddChild(1, Internal, geom.Pt(150, 80))
+	a.AddSink(an, geom.Pt(160, 90), 9, "doomed")
+	tr.DeleteSubtree(n)
+	a.DeleteSubtree(an)
+	back, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("ToTree: %v", err)
+	}
+	treesEqual(t, tr, back)
+}
+
+func TestBitset(t *testing.T) {
+	var b Bitset
+	for _, i := range []int{0, 1, 63, 64, 130, 4095} {
+		b.Set(i)
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", b.Count())
+	}
+	if !b.Test(63) || !b.Test(64) || b.Test(62) || b.Test(4096) {
+		t.Fatal("Test gives wrong membership")
+	}
+	b.Unset(63)
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, []int{0, 1, 64, 130, 4095}) {
+		t.Fatalf("ForEach = %v", got)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}

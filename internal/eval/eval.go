@@ -6,7 +6,7 @@ package eval
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"contango/internal/analysis"
@@ -164,7 +164,17 @@ func (m *Metrics) mcStats(set *corners.Set, results []*analysis.Result, capLimit
 	}
 	m.MCSamples = len(results)
 	m.Yield = passW / totalW
-	sort.Slice(samples, func(i, j int) bool { return samples[i].lat < samples[j].lat })
+	// Typed sort: the reflect-based sort.Slice costs an allocation and
+	// interface dispatch per comparison on the mc hot path.
+	slices.SortFunc(samples, func(a, b sample) int {
+		switch {
+		case a.lat < b.lat:
+			return -1
+		case a.lat > b.lat:
+			return 1
+		}
+		return 0
+	})
 	quantile := func(q float64) float64 {
 		target := q * totalW
 		acc := 0.0

@@ -1,7 +1,6 @@
 package geom
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -9,11 +8,18 @@ import (
 // Maze is a uniform-grid maze router used to find obstacle-avoiding
 // rectilinear paths for point-to-point wires (paper Section IV-A, Step 1).
 // Grid cells whose center lies strictly inside an obstacle are blocked.
+// Route reuses per-grid scratch held on the Maze, so a Maze must not be
+// shared by concurrent Route calls.
 type Maze struct {
 	die     Rect
 	step    float64
 	nx, ny  int
 	blocked []bool
+
+	// Search scratch, reused across Route calls.
+	dist []float64
+	prev []int32
+	pq   mazePQ
 }
 
 // NewMaze rasterizes the obstacle set onto a grid with the given cell size
@@ -88,17 +94,53 @@ type mazeItem struct {
 	cost float64
 }
 
+// mazePQ is a typed binary min-heap on cost. push and pop replicate
+// container/heap's sift algorithms (same element comparisons in the same
+// order), so the frontier pops in exactly the order the boxed
+// heap.Push/heap.Pop implementation produced — routes are unchanged — while
+// avoiding the interface{} allocation both of those made per item.
 type mazePQ []mazeItem
 
-func (q mazePQ) Len() int            { return len(q) }
-func (q mazePQ) Less(i, j int) bool  { return q[i].cost < q[j].cost }
-func (q mazePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *mazePQ) Push(x interface{}) { *q = append(*q, x.(mazeItem)) }
-func (q *mazePQ) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q mazePQ) less(i, j int) bool { return q[i].cost < q[j].cost }
+
+func (q *mazePQ) push(it mazeItem) {
+	*q = append(*q, it)
+	h := *q
+	// Sift up, as container/heap.up.
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *mazePQ) pop() mazeItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift down over h[:n], as container/heap.down.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
 	return it
 }
 
@@ -118,20 +160,25 @@ func (m *Maze) Route(a, b Point) (Polyline, error) {
 	if start == target {
 		return Polyline{a, b}.Rectify().Simplify(), nil
 	}
-	dist := make([]float64, m.nx*m.ny)
+	if len(m.dist) != m.nx*m.ny {
+		m.dist = make([]float64, m.nx*m.ny)
+		m.prev = make([]int32, m.nx*m.ny)
+	}
+	dist := m.dist
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
-	prev := make([]int32, m.nx*m.ny)
+	prev := m.prev
 	for i := range prev {
 		prev[i] = -1
 	}
 	dx := [4]int{1, -1, 0, 0}
 	dy := [4]int{0, 0, 1, -1}
-	pq := &mazePQ{{cell: start, dir: -1, cost: 0}}
+	pq := &m.pq
+	*pq = append((*pq)[:0], mazeItem{cell: start, dir: -1, cost: 0})
 	dist[start] = 0
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(mazeItem)
+	for len(*pq) > 0 {
+		it := pq.pop()
 		if it.cell == target {
 			break
 		}
@@ -158,7 +205,7 @@ func (m *Maze) Route(a, b Point) (Polyline, error) {
 			if cost < dist[nc] {
 				dist[nc] = cost
 				prev[nc] = int32(it.cell)
-				heap.Push(pq, mazeItem{cell: nc, dir: int8(d), cost: cost})
+				pq.push(mazeItem{cell: nc, dir: int8(d), cost: cost})
 			}
 		}
 	}

@@ -48,23 +48,47 @@ func (c *Chunked) SetParallelism(n int) {
 	}
 }
 
+// BatchHinter is implemented by evaluators whose EvaluateCorners runs most
+// efficiently on corner counts that are a multiple of some internal batch
+// width (e.g. the incremental transient engine's worker-pool occupancy).
+// Chunked rounds its chunk size up to the hint so no slot tenure ends on a
+// ragged, under-filled kernel batch.
+type BatchHinter interface {
+	BatchHint() int
+}
+
+// effectiveChunk is Chunk aligned up to the wrapped evaluator's batch hint.
+func (c *Chunked) effectiveChunk() int {
+	chunk := c.Chunk
+	if chunk <= 0 {
+		return chunk
+	}
+	if bh, ok := c.Eval.(BatchHinter); ok {
+		if h := bh.BatchHint(); h > 1 && chunk%h != 0 {
+			chunk += h - chunk%h
+		}
+	}
+	return chunk
+}
+
 // EvaluateCorners evaluates the corner list in chunks, yielding between
 // them, and returns the concatenated per-corner results in input order.
 func (c *Chunked) EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*analysis.Result, error) {
-	if c.Chunk <= 0 || len(corners) <= c.Chunk {
+	chunk := c.effectiveChunk()
+	if chunk <= 0 || len(corners) <= chunk {
 		return c.evalRange(tr, corners)
 	}
 	if c.OnSplit != nil {
-		c.OnSplit((len(corners) + c.Chunk - 1) / c.Chunk)
+		c.OnSplit((len(corners) + chunk - 1) / chunk)
 	}
 	out := make([]*analysis.Result, 0, len(corners))
-	for start := 0; start < len(corners); start += c.Chunk {
+	for start := 0; start < len(corners); start += chunk {
 		if start > 0 && c.Yield != nil {
 			if err := c.Yield(); err != nil {
 				return nil, err
 			}
 		}
-		end := start + c.Chunk
+		end := start + chunk
 		if end > len(corners) {
 			end = len(corners)
 		}

@@ -165,3 +165,47 @@ func TestChunkedForwardsParallelism(t *testing.T) {
 		t.Fatalf("name not forwarded: %q", c.Name())
 	}
 }
+
+// hintedEval is a fakeCornerEval that also advertises a batch width.
+type hintedEval struct {
+	fakeCornerEval
+	hint int
+}
+
+func (h *hintedEval) BatchHint() int { return h.hint }
+
+func TestChunkedAlignsToBatchHint(t *testing.T) {
+	cs, rs := makeCorners(10)
+	fe := &hintedEval{fakeCornerEval: fakeCornerEval{results: rs}, hint: 4}
+	c := &Chunked{Eval: fe, Chunk: 3}
+	out, err := c.EvaluateCorners(nil, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cs) {
+		t.Fatalf("got %d results, want %d", len(out), len(cs))
+	}
+	for i := range cs {
+		if out[i] != rs[cs[i].Name] {
+			t.Fatalf("result %d not identity-preserved", i)
+		}
+	}
+	// Chunk 3 rounds up to the hint's multiple 4: calls of 4, 4, 2.
+	want := [][]int{{4, 4, 2}}
+	var sizes []int
+	for _, call := range fe.batchCalls {
+		sizes = append(sizes, len(call))
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("chunk sizes %v, want %v", sizes, want[0])
+	}
+	// A hint of 1 (or a non-hinting evaluator) leaves Chunk untouched.
+	fe2 := &hintedEval{fakeCornerEval: fakeCornerEval{results: rs}, hint: 1}
+	c2 := &Chunked{Eval: fe2, Chunk: 3}
+	if _, err := c2.EvaluateCorners(nil, cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(fe2.batchCalls) != 4 {
+		t.Fatalf("hint 1: %d calls, want 4", len(fe2.batchCalls))
+	}
+}

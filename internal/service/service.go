@@ -469,7 +469,7 @@ func (s *Service) SubmitWith(b *bench.Benchmark, o core.Options, so SubmitOpts) 
 	feats := sched.Features{
 		Plan:    planLabel(o.Plan),
 		Corners: corners.Cardinality(cornersLabel(o.Corners)),
-		Sinks:   len(b.Sinks),
+		Sinks:   b.Stats().Sinks,
 	}
 	j := &Job{
 		id:           fmt.Sprintf("job-%04d", s.seq+1),

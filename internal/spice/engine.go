@@ -56,6 +56,23 @@ type launchResult struct {
 // and worst 10-90% slews at every sink.
 func (e *Engine) Evaluate(tr *ctree.Tree, corner tech.Corner) (*analysis.Result, error) {
 	net := analysis.Extract(tr, e.MaxSeg)
+	return e.evaluateOnNet(net, corner), nil
+}
+
+// EvaluateCorners implements analysis.CornerEvaluator: the tree is extracted
+// once and the transients of every corner run over the shared netlist.
+func (e *Engine) EvaluateCorners(tr *ctree.Tree, corners []tech.Corner) ([]*analysis.Result, error) {
+	net := analysis.Extract(tr, e.MaxSeg)
+	out := make([]*analysis.Result, len(corners))
+	for i, c := range corners {
+		out[i] = e.evaluateOnNet(net, c)
+	}
+	return out, nil
+}
+
+// evaluateOnNet runs both launch edges of one corner over an extracted
+// netlist.
+func (e *Engine) evaluateOnNet(net *analysis.Net, corner tech.Corner) *analysis.Result {
 	res := &analysis.Result{
 		Corner:    corner,
 		Rise:      make(map[int]float64),
@@ -93,7 +110,7 @@ func (e *Engine) Evaluate(tr *ctree.Tree, corner tech.Corner) (*analysis.Result,
 		res.SlewViol += lr.viol
 	}
 	e.Runs++
-	return res, nil
+	return res
 }
 
 // simulateLaunch propagates one source edge through every stage in
@@ -188,17 +205,23 @@ func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRisin
 		rail0, railF = 0.0, vdd
 	}
 
-	g := make([]float64, n)
-	gC := make([]float64, n)
+	ss := stagePool.Get().(*stageScratch)
+	ss.grow(n)
+	g, gC := ss.g, ss.gC
+	g[0] = 0 // never read, but keep the vector deterministic across reuse
 	for i := 0; i < n; i++ {
 		gC[i] = s.C[i] * cScale / dt
 		if i > 0 {
 			g[i] = 1 / (s.R[i] * rScale)
 		}
 	}
-	// Constant elimination factors (caps and resistances are fixed).
-	d := make([]float64, n)
-	elim := make([]float64, n)
+	// Constant elimination factors (caps and resistances are fixed). The
+	// pooled elim replaces make's zero-init explicitly: the += accumulation
+	// below must start from exact zeros to stay bit-identical.
+	d, elim := ss.d, ss.elim
+	for i := range elim {
+		elim[i] = 0
+	}
 	for i := n - 1; i >= 1; i-- {
 		d[i] = gC[i] + g[i] + elim[i]
 		elim[s.Par[i]] += g[i] - g[i]*g[i]/d[i]
@@ -208,40 +231,44 @@ func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRisin
 		d[0] = 1e-12
 	}
 
-	V := make([]float64, n)
+	V := ss.V
 	for i := range V {
 		V[i] = rail0
 	}
-	b := make([]float64, n)
-	acc := make([]float64, n)
+	b, acc := ss.b, ss.acc
 
 	// Crossing trackers per node: 10%, 50%, 90% of vdd in the output
 	// direction. For falling outputs the 90% threshold is crossed first.
-	lo := make([]crossing, n)
-	mid := make([]crossing, n)
-	hi := make([]crossing, n)
+	lo, mid, hi := ss.lo, ss.mid, ss.hi
 	for i := 0; i < n; i++ {
 		lo[i] = crossing{th: 0.1 * vdd, rising: outRising}
 		mid[i] = crossing{th: 0.5 * vdd, rising: outRising}
 		hi[i] = crossing{th: 0.9 * vdd, rising: outRising}
 	}
 
-	loadWaves := make(map[int]*Waveform, len(s.Loads))
-	for _, ld := range s.Loads {
-		loadWaves[ld.Node] = &Waveform{T0: vin.T0, Dt: dt, V: []float64{rail0}, V0: rail0}
-	}
-
 	// Window: input transition plus several stage time constants, with a
 	// hard cap to stay live under degenerate drivers.
 	tauMax := 1.0
-	for _, tau := range analysis.StageElmoreAt(s, rd, corner) {
-		if tau > tauMax {
-			tauMax = tau
-		}
+	if m := analysis.StageElmoreMaxAt(s, rd, corner); m > tauMax {
+		tauMax = m
 	}
 	tEndMin := vin.End() + 5*tauMax + 50
 	tMax := tEndMin + 30*tauMax + 2000
 	tol := e.SettleTol * vdd
+
+	// Load waveforms escape into the stage result (and from there into the
+	// incremental cache), so they are real allocations; presizing them to the
+	// expected step count avoids the append regrowth churn.
+	steps := int((tEndMin-vin.T0)/dt) + 64
+	if steps > 1<<20 {
+		steps = 1 << 20
+	}
+	loadWaves := make(map[int]*Waveform, len(s.Loads))
+	for _, ld := range s.Loads {
+		v := make([]float64, 1, steps)
+		v[0] = rail0
+		loadWaves[ld.Node] = &Waveform{T0: vin.T0, Dt: dt, V: v, V0: rail0}
+	}
 
 	t := vin.T0
 	for {
@@ -300,6 +327,7 @@ func (e *Engine) simStage(s *analysis.Stage, drv driver, vin *Waveform, outRisin
 			res.slew[i] = math.Inf(1)
 		}
 	}
+	stagePool.Put(ss)
 	return res
 }
 
@@ -308,13 +336,7 @@ var _ analysis.Evaluator = (*Engine)(nil)
 // EvaluateAll runs the engine at every corner of the tree's technology and
 // returns the results in corner order.
 func (e *Engine) EvaluateAll(tr *ctree.Tree) ([]*analysis.Result, error) {
-	var out []*analysis.Result
-	for _, c := range tr.Tech.Corners {
-		r, err := e.Evaluate(tr, c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return e.EvaluateCorners(tr, tr.Tech.Corners)
 }
+
+var _ analysis.CornerEvaluator = (*Engine)(nil)

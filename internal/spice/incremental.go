@@ -111,6 +111,18 @@ func (ie *Incremental) SetParallelism(n int) {
 	ie.Parallelism = n
 }
 
+// BatchHint reports the corner granularity that keeps the launch worker
+// pool occupied: each corner contributes two launches (rising and falling
+// edges), so a multiple of ceil(Parallelism/2) corners fills every worker.
+// The sweep splitter aligns its chunk size to this.
+func (ie *Incremental) BatchHint() int {
+	h := (ie.Parallelism + 1) / 2
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
 // Reset drops every cached stage result and the cached extraction. Call it
 // after changing Eng's integration parameters.
 func (ie *Incremental) Reset() {
@@ -240,17 +252,19 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 	n := len(net.Stages)
 	prev := ie.launches[launchKey{corner, rising}]
 
-	results := make([]*stageResult, n) // nil = no input transition reached it
-	inputs := make([]*Waveform, n)
+	ls := getLaunchScratch(n)
+	defer launchPool.Put(ls)
+	results := ls.results // nil = no input transition reached it
+	inputs := ls.inputs
 	// reusedHead[i]: stage i was served from the previous launch's newest
 	// entry — its output is identical to the last evaluation's, so children
 	// may accept their own newest entry without comparing waveforms.
-	reusedHead := make([]bool, n)
+	reusedHead := ls.reusedHead
 
 	// Output-edge direction per stage (the source driver is non-inverting,
 	// every buffer stage inverts) and dependency levels for scheduling.
-	dirs := make([]bool, n)
-	level := make([]int, n)
+	dirs := ls.dirs
+	level := ls.level
 	maxLevel := 0
 	for i, s := range net.Stages {
 		if s.Parent < 0 {
@@ -265,12 +279,12 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 	}
 
 	out := launchOutcome{entries: make(map[int][]*stageEntry, n)}
-	chosen := make([]*stageEntry, n) // cache entry serving/recording stage i
+	chosen := ls.chosen // cache entry serving/recording stage i
 
 	// Level by level: decide cache hit or simulate; stages within a level
 	// are independent, so the misses integrate concurrently on the pool.
 	for lv := 0; lv <= maxLevel; lv++ {
-		var work []int
+		work := ls.work[:0]
 		for i, s := range net.Stages {
 			if level[i] != lv {
 				continue
@@ -285,7 +299,7 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 				if !ok {
 					continue
 				}
-				vin = w.Trim(0.002 * vdd)
+				vin = w.TrimInto(0.002*vdd, &ls.trim[i])
 			}
 			inputs[i] = vin
 			if ent := matchEntry(prev[stageCacheKey(s)], s.Sig(), vin,
@@ -295,6 +309,14 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 				reusedHead[i] = len(prev[stageCacheKey(s)]) > 0 && prev[stageCacheKey(s)][0] == ent
 				out.reusedCount++
 				continue
+			}
+			if vin == &ls.trim[i] {
+				// Cache miss: the input enters a long-lived cache entry, so
+				// promote the scratch header to its own allocation (samples
+				// stay shared with the upstream waveform, as Trim shares
+				// them).
+				c := *vin
+				inputs[i] = &c
 			}
 			work = append(work, i)
 		}
@@ -324,6 +346,7 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 			chosen[i] = &stageEntry{sig: s.Sig(), input: inputs[i], res: *results[i]}
 			out.simulated++
 		}
+		ls.work = work // keep any growth for the next level
 	}
 
 	// Commit policy: newest entry first, plus the most recent distinct
@@ -337,6 +360,14 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 			}
 			continue
 		}
+		if old := prev[key]; len(old) > 0 && old[0] == chosen[i] {
+			// Steady-state cache hit on the newest entry: the committed
+			// list is identical to the previous generation's (same head,
+			// same ≤1 distinct predecessor), so reuse it instead of
+			// allocating a copy per stage per launch.
+			out.entries[key] = old
+			continue
+		}
 		lst := append(make([]*stageEntry, 0, 2), chosen[i])
 		for _, ent := range prev[key] {
 			if ent != chosen[i] && len(lst) < 2 {
@@ -348,10 +379,14 @@ func (ie *Incremental) launch(net *analysis.Net, corner tech.Corner, rising bool
 
 	// Aggregate, walking stages in topological order so ties in the
 	// worst-slew tracking break exactly as in the serial engine.
+	nSinks := 0
+	for i := range net.Stages {
+		nSinks += len(net.Stages[i].Sinks)
+	}
 	lr := launchResult{
-		sinkT50:     make(map[int]float64),
-		sinkSlew:    make(map[int]float64),
-		stageSlew:   make(map[int]float64),
+		sinkT50:     make(map[int]float64, nSinks),
+		sinkSlew:    make(map[int]float64, nSinks),
+		stageSlew:   make(map[int]float64, n),
 		worstDriver: -1,
 	}
 	srcT50 := e.SourceSlew / 2

@@ -62,6 +62,14 @@ func (w *Waveform) Last() float64 {
 // of margin, and returns the trimmed waveform. Trimming lets downstream
 // stages start their windows when their input actually begins to move.
 func (w *Waveform) Trim(tol float64) *Waveform {
+	return w.TrimInto(tol, new(Waveform))
+}
+
+// TrimInto is Trim writing its header into dst instead of allocating one;
+// it returns w itself when nothing is trimmed and dst otherwise (the
+// samples are shared with w either way). The incremental evaluator's hot
+// path trims into per-stage scratch so cache hits allocate nothing.
+func (w *Waveform) TrimInto(tol float64, dst *Waveform) *Waveform {
 	first := len(w.V)
 	for i, v := range w.V {
 		if abs(v-w.V0) > tol {
@@ -75,12 +83,13 @@ func (w *Waveform) Trim(tol float64) *Waveform {
 	if first > 0 {
 		first-- // keep one quiet sample for interpolation
 	}
-	return &Waveform{
+	*dst = Waveform{
 		T0: w.T0 + float64(first)*w.Dt,
 		Dt: w.Dt,
 		V:  w.V[first:],
 		V0: w.V0,
 	}
+	return dst
 }
 
 // Ramp builds a linear transition from v0 to v1 starting at t=0 with the

@@ -1,0 +1,16 @@
+//go:build linux
+
+package contango
+
+import "syscall"
+
+// peakRSSMB reports the process's peak resident set size in MiB. On Linux
+// getrusage reports Maxrss in KiB. A zero return means "unavailable" and
+// suppresses the benchmark metric.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}

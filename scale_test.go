@@ -1,0 +1,97 @@
+// Scale harness: the million-sink-class benchmark CI gates. One timed pass
+// covers the whole large-instance data path — streaming load of a generated
+// TI-scale case, DME construction, buffering, the batched multi-corner
+// closed-form kernels, and an arena round-trip — and reports peak RSS next
+// to the standard ns/B/allocs columns so memory blowups fail the bench gate
+// rather than only the CI runner.
+package contango
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"contango/internal/analysis"
+	"contango/internal/bench"
+	"contango/internal/buffering"
+	"contango/internal/corners"
+	"contango/internal/ctree"
+	"contango/internal/dme"
+	"contango/internal/tech"
+)
+
+// scaleSinks is the CI size: large enough that per-node constant factors
+// dominate (the regime the arena layout targets), small enough to finish a
+// -benchtime=1x run in a normal CI slot. The generator streams any size up
+// to a million and beyond; raise this locally to measure the full curve.
+const scaleSinks = 100_000
+
+func BenchmarkMillionSink(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "ti-scale.cns")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bench.GenerateTIScale(f, scaleSinks, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	tk := tech.Default45()
+	cs, err := corners.Build("pvt5", tk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := tech.Composite{Type: tk.Inverters[1], N: 8}
+
+	b.Run("100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bm, err := bench.Load(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(bm.Sinks) != scaleSinks {
+				b.Fatalf("loaded %d sinks, want %d", len(bm.Sinks), scaleSinks)
+			}
+			tr := dme.BuildZST(tk, bm.Source, bm.Sinks, dme.Options{})
+			tr.SourceR = bm.SourceR
+			if _, err := buffering.BalancedInsert(tr, comp, buffering.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			// Batched closed-form evaluation: all five corners in one
+			// topology sweep (transient simulation is the small-instance
+			// tool; at this size the closed-form kernels are the product
+			// path).
+			e := &analysis.Elmore{}
+			rs, err := e.EvaluateCorners(tr, cs.Corners)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rs) != len(cs.Corners) {
+				b.Fatalf("%d corner results, want %d", len(rs), len(cs.Corners))
+			}
+			for k, r := range rs {
+				if len(r.Rise) != scaleSinks {
+					b.Fatalf("corner %d: %d arrivals, want %d", k, len(r.Rise), scaleSinks)
+				}
+			}
+			// Arena round-trip: the SoA layout must carry the full-size
+			// tree losslessly (the codec path runs on it).
+			a := ctree.FromTree(tr)
+			if a.NumNodes() != tr.NumNodes() {
+				b.Fatalf("arena holds %d nodes, tree %d", a.NumNodes(), tr.NumNodes())
+			}
+			back, err := a.ToTree()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if back.NumNodes() != tr.NumNodes() {
+				b.Fatalf("round-trip lost nodes: %d vs %d", back.NumNodes(), tr.NumNodes())
+			}
+		}
+		if rss := peakRSSMB(); rss > 0 {
+			b.ReportMetric(rss, "peak-rss-MB")
+		}
+	})
+}
