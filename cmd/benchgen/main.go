@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"contango/internal/bench"
 )
@@ -24,11 +26,54 @@ import (
 // fine for the generator but unlikely to be synthesizable in one session.
 const maxReasonableSinks = 2_000_000
 
+// Synthesis memory model, calibrated on the scale harness rows in
+// BENCH_baseline.json: arena construction costs under 1 KiB per sink and
+// the evaluation and round-trip phases roughly double that, so 3 KiB per
+// sink plus a fixed runtime floor over-estimates the measured peaks
+// (a 250k-sink run peaks under 500 MiB, a million-sink construction under
+// 750 MiB). Deliberately pessimistic: failing fast beats OOMing mid-run.
+const (
+	synthBytesPerSink = 3 << 10
+	synthBaseOverhead = 128 << 20
+)
+
+// estimatePeakRSS predicts the peak resident set of synthesizing an
+// n-sink case, in bytes.
+func estimatePeakRSS(n int) uint64 {
+	return synthBaseOverhead + uint64(n)*synthBytesPerSink
+}
+
+// availableMemoryBytes reports the kernel's MemAvailable estimate, or 0
+// when it cannot be determined (non-Linux hosts) — callers skip the check.
+func availableMemoryBytes() uint64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	return parseMemAvailable(string(data))
+}
+
+func parseMemAvailable(meminfo string) uint64 {
+	for _, line := range strings.Split(meminfo, "\n") {
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if kb, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
 func main() {
 	out := flag.String("out", ".", "output directory")
 	ti := flag.Int("ti", 0, "generate a TI-style sample with this many sinks instead of the contest suite")
 	sinks := flag.Int("sinks", 0, "alias of -ti: TI-style sink count")
 	seed := flag.Int64("seed", 1, "sampling seed for TI mode")
+	force := flag.Bool("force", false, "generate even when the estimated synthesis peak RSS exceeds available memory")
 	flag.Parse()
 
 	n := *ti
@@ -44,6 +89,22 @@ func main() {
 	if n > maxReasonableSinks {
 		fmt.Fprintf(os.Stderr, "benchgen: warning: %d sinks exceeds %d; generation streams fine but synthesis will be very slow\n",
 			n, maxReasonableSinks)
+	}
+	if n > 0 {
+		// Generation streams at any size; synthesis of the result is what
+		// blows up. Size the request against this machine before writing a
+		// case that can only OOM, so the mistake costs seconds, not a
+		// thrashing runner.
+		est := estimatePeakRSS(n)
+		fmt.Printf("estimated synthesis peak RSS for %d sinks: ~%d MiB\n", n, est>>20)
+		if avail := availableMemoryBytes(); avail > 0 && est > avail {
+			msg := fmt.Errorf("benchgen: synthesizing %d sinks needs ~%d MiB but only %d MiB is available; shrink -sinks or pass -force",
+				n, est>>20, avail>>20)
+			if !*force {
+				fatal(msg)
+			}
+			fmt.Fprintf(os.Stderr, "benchgen: warning (-force): %v\n", msg)
+		}
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

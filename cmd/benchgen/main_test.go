@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseMemAvailable(t *testing.T) {
+	meminfo := "MemTotal:       16384000 kB\nMemFree:         1234567 kB\nMemAvailable:    8000000 kB\nBuffers:          100000 kB\n"
+	if got := parseMemAvailable(meminfo); got != 8000000<<10 {
+		t.Fatalf("parseMemAvailable = %d, want %d", got, uint64(8000000)<<10)
+	}
+	if got := parseMemAvailable("MemTotal: 1 kB\n"); got != 0 {
+		t.Fatalf("missing MemAvailable should yield 0, got %d", got)
+	}
+	if got := parseMemAvailable(""); got != 0 {
+		t.Fatalf("empty meminfo should yield 0, got %d", got)
+	}
+}
+
+func TestEstimatePeakRSSCoversMeasuredPeaks(t *testing.T) {
+	// The model must over-estimate the peaks the scale harness actually
+	// measured (BENCH_baseline.json): ~469 MiB at 250k sinks end to end,
+	// ~728 MiB for million-sink construction.
+	if est := estimatePeakRSS(250_000); est < 500<<20 {
+		t.Errorf("250k estimate %d MiB under the measured 469 MiB peak", est>>20)
+	}
+	if est := estimatePeakRSS(1_000_000); est < 750<<20 {
+		t.Errorf("1M estimate %d MiB under the measured 728 MiB peak", est>>20)
+	}
+	// And stay monotone in n.
+	if estimatePeakRSS(10) >= estimatePeakRSS(1_000_000) {
+		t.Error("estimate not monotone in sink count")
+	}
+}

@@ -1,0 +1,616 @@
+package buffering
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"contango/internal/analysis"
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// Arena-native buffering: the insertion and polarity passes below operate on
+// ctree.Arena slot indices instead of pointer nodes. Every algorithm is a
+// line-for-line mirror of its pointer twin in balanced.go / vanginneken.go /
+// polarity.go / sweep.go — same traversal order, same sorts on the same
+// input orders, same floating-point expressions — and the arena mutators
+// they call are themselves bit-identical mirrors of the Tree mutators, so a
+// tree built through this path round-trips ToTree equal to the pointer
+// construction down to the last bit (pinned by the construction property
+// tests and the top-level envelope-parity test).
+
+// BalancedInsertArena is BalancedInsert on an arena.
+func BalancedInsertArena(a *ctree.Arena, comp tech.Composite, opt Options) (int, error) {
+	opt.defaults()
+	maxCap := opt.MaxCap
+	if maxCap == 0 {
+		maxCap = SafeLoad(a.Tech, comp)
+	}
+	threshold := 0.35 * maxCap
+	if threshold <= comp.Cin() {
+		threshold = comp.Cin() * 2
+	}
+	added := 0
+
+	type kid struct {
+		n    int32
+		load float64
+	}
+	var process func(n int32) (float64, int32)
+	process = func(n int32) (float64, int32) {
+		load := 0.0
+		switch a.Kind[n] {
+		case ctree.Sink:
+			load = a.SinkCap[n]
+		default:
+			var kids []kid
+			for _, c := range append([]int32(nil), a.Children(n)...) {
+				kload, ktop := process(c)
+				kids = append(kids, kid{ktop, kload})
+				load += kload
+			}
+			// Repair 1: decouple heavy child edges with a buffer at the
+			// merge point so the merge's own driver no longer sees them.
+			sort.Slice(kids, func(i, j int) bool { return kids[i].load > kids[j].load })
+			for i := range kids {
+				if load <= threshold {
+					break
+				}
+				k := kids[i]
+				if k.load <= comp.Cin()*1.25 {
+					break // decoupling replaces ~Cin with Cin: no benefit
+				}
+				pos := legalizePosArena(a, k.n, 0, opt)
+				b := a.InsertOnEdge(k.n, pos, ctree.Buffer)
+				a.SetBuf(b, comp)
+				added++
+				contrib := comp.Cin() + a.EdgeCap(b)
+				kids[i] = kid{b, contrib}
+				load += contrib - k.load
+			}
+			// Repair 2: sink clusters — many near-Cin children at one point.
+			mergeLegal := opt.Obs == nil || !opt.Obs.BlocksPoint(a.Loc[n])
+			for mergeLegal && load > threshold && len(kids) > 1 {
+				b := a.AddChildL(n, ctree.Buffer, a.Loc[n])
+				a.SetBuf(b, comp)
+				added++
+				group := 0.0
+				for i := 0; i < len(kids); {
+					if group == 0 || group+kids[i].load <= threshold {
+						ch := kids[i].n
+						if ch == b {
+							i++
+							continue
+						}
+						r := append(geom.Polyline(nil), a.Route(ch)...)
+						a.Detach(ch)
+						a.Attach(ch, b, r)
+						group += kids[i].load
+						kids = append(kids[:i], kids[i+1:]...)
+					} else {
+						i++
+					}
+				}
+				load = load - group + comp.Cin()
+				kids = append(kids, kid{b, comp.Cin()})
+				if group == 0 {
+					break // nothing movable: give up gracefully
+				}
+			}
+		}
+		w := a.Tech.Wires[a.WidthIdx[n]]
+		length := a.EdgeLen(n)
+		fromBottom := 0.0
+		for {
+			if load >= threshold {
+				// Threshold already exceeded at the current point: buffer
+				// right here.
+			} else {
+				room := (threshold - load) / w.CPerUm
+				if fromBottom+room >= length {
+					break // edge top reached without hitting the threshold
+				}
+				fromBottom += room
+				load = threshold
+			}
+			d := length - fromBottom
+			pos := legalizePosArena(a, n, d, opt)
+			b := a.InsertOnEdge(n, pos, ctree.Buffer)
+			a.SetBuf(b, comp)
+			added++
+			load = comp.Cin()
+			length = a.EdgeLen(b)
+			n = b
+			fromBottom = 0
+		}
+		return load + (length-fromBottom)*w.CPerUm, n
+	}
+
+	srcSafe := 0.45 * a.Tech.SlewLimit / (2.2 * a.SourceR)
+	for _, c := range append([]int32(nil), a.Children(a.Root())...) {
+		top, topNode := process(c)
+		if (top > srcSafe || top > maxCap) && a.EdgeLen(topNode) >= 0 {
+			pos := legalizePosArena(a, topNode, 0, opt)
+			b := a.InsertOnEdge(topNode, pos, ctree.Buffer)
+			a.SetBuf(b, comp)
+			added++
+		}
+	}
+	return added, nil
+}
+
+// legalizePosArena mirrors legalizePos on a slot index.
+func legalizePosArena(a *ctree.Arena, n int32, d float64, opt Options) float64 {
+	route := a.Route(n)
+	scale := 1.0
+	if el := a.EdgeLen(n); el > 0 {
+		scale = route.Length() / el
+	}
+	pos := d * scale
+	if opt.Obs == nil {
+		return pos
+	}
+	step := 25.0
+	for try := pos; try >= 0; try -= step {
+		if !opt.Obs.BlocksPoint(route.At(try)) {
+			return try
+		}
+	}
+	for try := pos + step; try <= route.Length(); try += step {
+		if !opt.Obs.BlocksPoint(route.At(try)) {
+			return try
+		}
+	}
+	return pos
+}
+
+// --- van Ginneken DP on slots ---
+
+// abufPos is bufPos with a slot-index edge.
+type abufPos struct {
+	edge int32
+	dist float64
+}
+
+type aplist struct {
+	pos         abufPos
+	leaf        bool
+	left, right *aplist
+}
+
+func aCons(pos abufPos, rest *aplist) *aplist {
+	leaf := &aplist{pos: pos, leaf: true}
+	if rest == nil {
+		return leaf
+	}
+	return &aplist{left: leaf, right: rest}
+}
+
+func aJoin(a, b *aplist) *aplist {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &aplist{left: a, right: b}
+}
+
+func (p *aplist) collect(out *[]abufPos) {
+	if p == nil {
+		return
+	}
+	if p.leaf {
+		*out = append(*out, p.pos)
+		return
+	}
+	p.left.collect(out)
+	p.right.collect(out)
+}
+
+type aOption struct {
+	cap   float64
+	delay float64
+	bufs  *aplist
+}
+
+type arenaInserter struct {
+	a    *ctree.Arena
+	comp tech.Composite
+	opt  Options
+
+	maxCap float64
+}
+
+// InsertArena is Insert (van Ginneken DP) on an arena.
+func InsertArena(a *ctree.Arena, comp tech.Composite, opt Options) (int, error) {
+	opt.defaults()
+	ins := &arenaInserter{a: a, comp: comp, opt: opt}
+	ins.maxCap = opt.MaxCap
+	if ins.maxCap == 0 {
+		ins.maxCap = SafeLoad(a.Tech, comp)
+	}
+	if ins.maxCap <= comp.Cin() {
+		return 0, fmt.Errorf("buffering: composite %v cannot even drive its own input cap", comp)
+	}
+
+	var rootOpts []aOption
+	for i, c := range a.Children(a.Root()) {
+		co := ins.edgeOptions(c)
+		if i == 0 {
+			rootOpts = co
+		} else {
+			rootOpts = ins.mergeOptions(rootOpts, co)
+		}
+	}
+	if len(rootOpts) == 0 {
+		return 0, nil // empty tree
+	}
+	best := -1
+	bestScore := math.Inf(1)
+	for i, o := range rootOpts {
+		score := a.SourceR*o.cap + o.delay
+		if o.cap > ins.maxCap {
+			score += 1e12 // admissible only if nothing better exists
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	var poss []abufPos
+	rootOpts[best].bufs.collect(&poss)
+	return ins.realize(poss), nil
+}
+
+func (ins *arenaInserter) edgeOptions(n int32) []aOption {
+	a := ins.a
+	var opts []aOption
+	switch a.Kind[n] {
+	case ctree.Sink:
+		opts = []aOption{{cap: a.SinkCap[n], delay: 0}}
+	default:
+		for i, c := range a.Children(n) {
+			co := ins.edgeOptions(c)
+			if i == 0 {
+				opts = co
+			} else {
+				opts = ins.mergeOptions(opts, co)
+			}
+		}
+		if len(opts) == 0 { // childless internal node: pure stub
+			opts = []aOption{{cap: 0, delay: 0}}
+		}
+	}
+
+	w := a.Tech.Wires[a.WidthIdx[n]]
+	length := a.EdgeLen(n)
+	cands := ins.candidates(length)
+	prev := length
+	for _, pos := range cands { // descending positions
+		opts = ins.addWire(opts, w, prev-pos)
+		if !ins.blocked(n, pos, length) {
+			opts = ins.offerBuffer(opts, n, pos)
+		}
+		prev = pos
+	}
+	opts = ins.addWire(opts, w, prev-0)
+	return ins.prune(opts)
+}
+
+func (ins *arenaInserter) candidates(length float64) []float64 {
+	var out []float64
+	for d := length - ins.opt.Step; d > 0; d -= ins.opt.Step {
+		out = append(out, d)
+	}
+	out = append(out, 0)
+	return out
+}
+
+func (ins *arenaInserter) blocked(n int32, dist, length float64) bool {
+	if ins.opt.Obs == nil {
+		return false
+	}
+	route := ins.a.Route(n)
+	geo := route.Length()
+	if geo <= 0 {
+		return ins.opt.Obs.BlocksPoint(ins.a.Loc[n])
+	}
+	frac := dist / length
+	return ins.opt.Obs.BlocksPoint(route.At(frac * geo))
+}
+
+func (ins *arenaInserter) addWire(opts []aOption, w tech.WireType, dl float64) []aOption {
+	if dl <= 0 {
+		return opts
+	}
+	r, c := w.RPerUm*dl, w.CPerUm*dl
+	out := make([]aOption, len(opts))
+	for i, o := range opts {
+		out[i] = aOption{
+			cap:   o.cap + c,
+			delay: o.delay + r*(c/2+o.cap),
+			bufs:  o.bufs,
+		}
+	}
+	return ins.prune(out)
+}
+
+func (ins *arenaInserter) offerBuffer(opts []aOption, n int32, dist float64) []aOption {
+	comp := ins.comp
+	bestScore := math.Inf(1)
+	bi := -1
+	for i, o := range opts {
+		if o.cap > ins.maxCap {
+			continue // the buffer would violate slew driving this load
+		}
+		if score := comp.Rout()*(comp.Cout()+o.cap) + o.delay; score < bestScore {
+			bestScore, bi = score, i
+		}
+	}
+	if bi < 0 {
+		return opts
+	}
+	buffered := aOption{
+		cap:   comp.Cin(),
+		delay: bestScore,
+		bufs:  aCons(abufPos{edge: n, dist: dist}, opts[bi].bufs),
+	}
+	return ins.prune(append(opts, buffered))
+}
+
+func (ins *arenaInserter) mergeOptions(a, b []aOption) []aOption {
+	out := make([]aOption, 0, len(a)+len(b))
+	for _, x := range a {
+		for _, y := range b {
+			out = append(out, aOption{
+				cap:   x.cap + y.cap,
+				delay: math.Max(x.delay, y.delay),
+				bufs:  aJoin(x.bufs, y.bufs),
+			})
+		}
+	}
+	return ins.prune(out)
+}
+
+func (ins *arenaInserter) prune(opts []aOption) []aOption {
+	if len(opts) <= 1 {
+		return opts
+	}
+	sort.Slice(opts, func(i, j int) bool {
+		if opts[i].cap != opts[j].cap {
+			return opts[i].cap < opts[j].cap
+		}
+		return opts[i].delay < opts[j].delay
+	})
+	out := opts[:0]
+	bestDelay := math.Inf(1)
+	for _, o := range opts {
+		if o.delay < bestDelay-1e-15 {
+			out = append(out, o)
+			bestDelay = o.delay
+		}
+	}
+	if out[0].cap <= ins.maxCap {
+		cut := len(out)
+		for i, o := range out {
+			if o.cap > ins.maxCap {
+				cut = i
+				break
+			}
+		}
+		out = out[:cut]
+	} else {
+		out = out[:1] // keep the least-bad option; flagged later by CNE
+	}
+	if len(out) > ins.opt.MaxOptions {
+		kept := make([]aOption, 0, ins.opt.MaxOptions)
+		stridef := float64(len(out)-1) / float64(ins.opt.MaxOptions-1)
+		for i := 0; i < ins.opt.MaxOptions; i++ {
+			kept = append(kept, out[int(float64(i)*stridef+0.5)])
+		}
+		out = kept
+	}
+	return append([]aOption(nil), out...)
+}
+
+// realize mirrors Inserter.realize, grouping positions per edge in
+// first-seen order so node-ID assignment matches the pointer path exactly.
+func (ins *arenaInserter) realize(poss []abufPos) int {
+	byEdge := map[int32][]float64{}
+	var edges []int32
+	for _, p := range poss {
+		if _, ok := byEdge[p.edge]; !ok {
+			edges = append(edges, p.edge)
+		}
+		byEdge[p.edge] = append(byEdge[p.edge], p.dist)
+	}
+	added := 0
+	for _, edge := range edges {
+		dists := byEdge[edge]
+		sort.Float64s(dists)
+		scale := 1.0
+		if el := ins.a.EdgeLen(edge); el > 0 {
+			scale = ins.a.Route(edge).Length() / el
+		}
+		consumed := 0.0
+		target := edge
+		for _, d := range dists {
+			rd := d * scale
+			b := ins.a.InsertOnEdge(target, rd-consumed, ctree.Buffer)
+			ins.a.SetBuf(b, ins.comp)
+			consumed = rd
+			// After the split the lower half is still `target`'s edge.
+			added++
+		}
+	}
+	return added
+}
+
+// CorrectPolarityArena is CorrectPolarity on an arena: same bottom-up
+// uniform-polarity marking, same minimal antichain, same insertion sites.
+func CorrectPolarityArena(a *ctree.Arena, inv tech.Composite, obs *geom.ObstacleSet) int {
+	n := a.Len()
+	// parity[i]: #inverters on the root path, mod 2 (sinks want 0).
+	parity := make([]int8, n)
+	var walk func(i int32, p int8)
+	walk = func(i int32, p int8) {
+		if a.Kind[i] == ctree.Buffer {
+			p ^= 1
+		}
+		parity[i] = p
+		for _, c := range a.Children(i) {
+			walk(c, p)
+		}
+	}
+	walk(a.Root(), 0)
+
+	// uniform[i]: 0 or 1 when all downstream sinks share that parity,
+	// -1 when mixed, -2 when the subtree has no sinks.
+	uniform := make([]int8, n)
+	a.PostOrder(func(i int32) {
+		if a.Kind[i] == ctree.Sink {
+			uniform[i] = parity[i]
+			return
+		}
+		u := int8(-2)
+		for _, c := range a.Children(i) {
+			cu := uniform[c]
+			if cu == -2 {
+				continue
+			}
+			if u == -2 {
+				u = cu
+			} else if u != cu {
+				u = -1
+			}
+		}
+		uniform[i] = u
+	})
+
+	var marked []int32
+	a.PreOrder(func(i int32) {
+		if u := uniform[i]; u == 0 || u == 1 {
+			if a.Parent[i] < 0 || uniform[a.Parent[i]] == -1 {
+				marked = append(marked, i)
+			}
+		}
+	})
+
+	added := 0
+	for _, site := range marked {
+		if uniform[site] != 1 {
+			continue // already correct polarity
+		}
+		if a.Parent[site] < 0 {
+			// Whole tree inverted: one inverter at the top of the tree (at
+			// the source output, ahead of every trunk edge).
+			b := a.AddChildL(site, ctree.Buffer, a.Loc[site])
+			a.SetBuf(b, inv)
+			for _, c := range append([]int32(nil), a.Children(site)...) {
+				if c == b {
+					continue
+				}
+				route := append(geom.Polyline(nil), a.Route(c)...)
+				a.Detach(c)
+				a.Attach(c, b, route)
+			}
+			added++
+			continue
+		}
+		insertInverterAboveArena(a, site, a.Route(site).Length(), inv, obs)
+		added++
+	}
+	return added
+}
+
+// insertInverterAboveArena mirrors insertInverterAbove on a slot index.
+func insertInverterAboveArena(a *ctree.Arena, n int32, d float64, inv tech.Composite, obs *geom.ObstacleSet) int32 {
+	if obs != nil {
+		step := 25.0
+		route := a.Route(n)
+		for d > 0 && obs.BlocksPoint(route.At(d)) {
+			d -= step
+			if d < 0 {
+				d = 0
+			}
+		}
+	}
+	b := a.InsertOnEdge(n, d, ctree.Buffer)
+	a.SetBuf(b, inv)
+	return b
+}
+
+// InvertedSinksArena returns the sinks whose current polarity differs from
+// the source (parity 1), in pre-order — InvertedSinks on slots.
+func InvertedSinksArena(a *ctree.Arena) []int32 {
+	var out []int32
+	var walk func(i int32, p int)
+	walk = func(i int32, p int) {
+		if a.Kind[i] == ctree.Buffer {
+			p ^= 1
+		}
+		if a.Kind[i] == ctree.Sink && p == 1 {
+			out = append(out, i)
+		}
+		for _, c := range a.Children(i) {
+			walk(c, p)
+		}
+	}
+	walk(a.Root(), 0)
+	return out
+}
+
+// InsertBestCompositeArena is InsertBestComposite on an arena: candidate
+// insertions fan out over flat-copy arena clones, and only the Elmore
+// judging of each candidate materializes a pointer tree (the decision
+// sequence — budget test, slew test, fallback ranking — is identical to the
+// pointer sweep because the materialized tree is bit-identical to the
+// pointer path's clone).
+func InsertBestCompositeArena(a *ctree.Arena, ladder []tech.Composite, capLimit, gamma float64, opt Options) (*SweepResult, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("buffering: empty composite ladder")
+	}
+	budget := (1 - gamma) * capLimit
+	corner := a.Tech.Reference()
+
+	insert := InsertArena
+	if opt.Mode != "vg" {
+		insert = BalancedInsertArena
+	}
+	var best *SweepResult
+	var bestArena *ctree.Arena
+	bestViol := int(^uint(0) >> 1)
+	for i := len(ladder) - 1; i >= 0; i-- { // strongest first
+		comp := ladder[i]
+		work := a.Clone()
+		added, err := insert(work, comp, opt)
+		if err != nil {
+			continue
+		}
+		workTree, err := work.ToTree()
+		if err != nil {
+			continue
+		}
+		res, err := (&analysis.Elmore{}).Evaluate(workTree, corner)
+		if err != nil {
+			continue
+		}
+		_, worst := res.MinMaxRise()
+		cand := &SweepResult{Composite: comp, Added: added, TotalCap: work.TotalCap(), WorstLat: worst}
+		if cand.TotalCap <= budget && res.SlewViol == 0 {
+			best, bestArena = cand, work
+			break
+		}
+		if best == nil || res.SlewViol < bestViol ||
+			(res.SlewViol == bestViol && cand.WorstLat < best.WorstLat) {
+			best, bestArena, bestViol = cand, work, res.SlewViol
+		}
+	}
+	if bestArena == nil {
+		return nil, fmt.Errorf("buffering: no composite produced a solution")
+	}
+	*a = *bestArena
+	return best, nil
+}

@@ -1,0 +1,129 @@
+package buffering
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"contango/internal/ctree"
+	"contango/internal/dme"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// buildBoth constructs the same ZST through both paths.
+func buildBoth(t *testing.T, seed int64, n int) (*ctree.Tree, *ctree.Arena) {
+	t.Helper()
+	tk := tech.Default45()
+	rng := rand.New(rand.NewSource(seed))
+	sinks := make([]dme.Sink, n)
+	for i := range sinks {
+		sinks[i] = dme.Sink{
+			Loc:  geom.Pt(rng.Float64()*5000, rng.Float64()*4000),
+			Cap:  20 + rng.Float64()*30,
+			Name: fmt.Sprintf("s%d", i),
+		}
+	}
+	tr := dme.BuildZST(tk, geom.Pt(0, 2000), sinks, dme.Options{})
+	a := dme.BuildZSTArena(tk, geom.Pt(0, 2000), sinks, dme.Options{})
+	return tr, a
+}
+
+func expectEqual(t *testing.T, label string, tr *ctree.Tree, a *ctree.Arena) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: arena invalid: %v", label, err)
+	}
+	got, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("%s: ToTree: %v", label, err)
+	}
+	if err := ctree.Equal(tr, got); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+}
+
+func TestBalancedInsertArenaMatchesPointer(t *testing.T) {
+	tk := tech.Default45()
+	comp := tech.Composite{Type: tk.Inverters[1], N: 4}
+	for _, n := range []int{1, 9, 60, 300, 900} {
+		tr, a := buildBoth(t, int64(n), n)
+		wantAdded, err := BalancedInsert(tr, comp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAdded, err := BalancedInsertArena(a, comp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantAdded != gotAdded {
+			t.Fatalf("n=%d: added %d buffers via arena, %d via pointer", n, gotAdded, wantAdded)
+		}
+		expectEqual(t, fmt.Sprintf("balanced n=%d", n), tr, a)
+	}
+}
+
+func TestInsertArenaMatchesPointer(t *testing.T) {
+	tk := tech.Default45()
+	comp := tech.Composite{Type: tk.Inverters[1], N: 4}
+	for _, n := range []int{5, 40, 150} {
+		tr, a := buildBoth(t, int64(100+n), n)
+		wantAdded, err := Insert(tr, comp, Options{Mode: "vg"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAdded, err := InsertArena(a, comp, Options{Mode: "vg"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantAdded != gotAdded {
+			t.Fatalf("n=%d: added %d buffers via arena, %d via pointer", n, gotAdded, wantAdded)
+		}
+		expectEqual(t, fmt.Sprintf("vg n=%d", n), tr, a)
+	}
+}
+
+func TestCorrectPolarityArenaMatchesPointer(t *testing.T) {
+	tk := tech.Default45()
+	comp := tech.Composite{Type: tk.Inverters[1], N: 2}
+	for _, n := range []int{8, 70, 400} {
+		tr, a := buildBoth(t, int64(200+n), n)
+		if _, err := BalancedInsert(tr, comp, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BalancedInsertArena(a, comp, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		want := CorrectPolarity(tr, comp, nil)
+		got := CorrectPolarityArena(a, comp, nil)
+		if want != got {
+			t.Fatalf("n=%d: arena added %d inverters, pointer %d", n, got, want)
+		}
+		if len(InvertedSinks(tr)) != 0 {
+			t.Fatalf("n=%d: pointer path left inverted sinks", n)
+		}
+		expectEqual(t, fmt.Sprintf("polarity n=%d", n), tr, a)
+	}
+}
+
+func TestSweepArenaMatchesPointer(t *testing.T) {
+	tk := tech.Default45()
+	ladder := tk.CompositeLadder()
+	for _, n := range []int{30, 250} {
+		tr, a := buildBoth(t, int64(300+n), n)
+		capLimit := tr.WireCap() * 3
+		want, err := InsertBestComposite(tr, ladder, capLimit, 0.1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := InsertBestCompositeArena(a, ladder, capLimit, 0.1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Composite != got.Composite || want.Added != got.Added ||
+			want.TotalCap != got.TotalCap || want.WorstLat != got.WorstLat {
+			t.Fatalf("n=%d: sweep result %+v != %+v", n, got, want)
+		}
+		expectEqual(t, fmt.Sprintf("sweep n=%d", n), tr, a)
+	}
+}

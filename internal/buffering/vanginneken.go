@@ -341,12 +341,19 @@ func (ins *Inserter) prune(opts []option) []option {
 // route before splitting. Positions on the same edge are applied top-down so
 // later distances stay valid.
 func (ins *Inserter) realize(poss []bufPos) int {
+	// Group by edge in first-seen order: iterating a map here would make
+	// node-ID assignment (and hence encoded artifacts) vary run to run.
 	byEdge := map[*ctree.Node][]float64{}
+	var edges []*ctree.Node
 	for _, p := range poss {
+		if _, ok := byEdge[p.edge]; !ok {
+			edges = append(edges, p.edge)
+		}
 		byEdge[p.edge] = append(byEdge[p.edge], p.dist)
 	}
 	added := 0
-	for edge, dists := range byEdge {
+	for _, edge := range edges {
+		dists := byEdge[edge]
 		sort.Float64s(dists)
 		scale := 1.0
 		if el := edge.EdgeLen(); el > 0 {

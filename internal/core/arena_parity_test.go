@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"contango/internal/bench"
+	"contango/internal/ctree"
+	"contango/internal/dme"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// randomBench builds a seeded random benchmark: sinks scattered over the
+// die, avoiding a couple of random obstacles.
+func randomBench(seed int64, n int) *bench.Benchmark {
+	rng := rand.New(rand.NewSource(seed))
+	die := geom.NewRect(0, 0, 8000, 6000)
+	var obstacles []geom.Obstacle
+	for k := 0; k < 2; k++ {
+		x := 500 + rng.Float64()*6000
+		y := 500 + rng.Float64()*4000
+		obstacles = append(obstacles, geom.Obstacle{
+			Rect: geom.NewRect(x, y, x+400+rng.Float64()*800, y+300+rng.Float64()*700),
+			Name: fmt.Sprintf("b%d", k),
+		})
+	}
+	obs := geom.NewObstacleSet(obstacles)
+	var sinks []dme.Sink
+	for len(sinks) < n {
+		p := geom.Pt(rng.Float64()*8000, rng.Float64()*6000)
+		if obs.BlocksPoint(p) {
+			continue
+		}
+		sinks = append(sinks, dme.Sink{Loc: p, Cap: 20 + rng.Float64()*40,
+			Name: fmt.Sprintf("s%d", len(sinks))})
+	}
+	b := &bench.Benchmark{
+		Name: fmt.Sprintf("rand%d_%d", seed, n), Die: die,
+		Source: geom.Pt(0, 3000), SourceR: 0.1,
+		Sinks: sinks, Obstacles: obstacles,
+	}
+	b.CapLimit = 500000
+	return b
+}
+
+// TestArenaConstructionParityRandom is the construction-parity property
+// test: the arena-native construction path (the default) and the pointer
+// path (Options.PointerBuild) must produce bit-identical results on
+// randomized benchmarks — same tree node for node, same construction
+// counters, and byte-identical persisted envelopes.
+func TestArenaConstructionParityRandom(t *testing.T) {
+	cases := []struct {
+		seed int64
+		n    int
+	}{{1, 12}, {7, 40}, {23, 90}}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("seed%d_n%d", tc.seed, tc.n), func(t *testing.T) {
+			opts := Options{Plan: "zst,legalize,buffer,polarity"}
+			pointer := opts
+			pointer.PointerBuild = true
+			pres, err := Synthesize(randomBench(tc.seed, tc.n), pointer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ares, err := Synthesize(randomBench(tc.seed, tc.n), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ctree.Equal(pres.Tree, ares.Tree); err != nil {
+				t.Fatalf("trees diverge: %v", err)
+			}
+			if pres.Buffers != ares.Buffers || pres.InvertedSinks != ares.InvertedSinks ||
+				pres.AddedInverters != ares.AddedInverters {
+				t.Fatalf("counters diverge: %d/%d buffers, %d/%d inverted, %d/%d added",
+					pres.Buffers, ares.Buffers, pres.InvertedSinks, ares.InvertedSinks,
+					pres.AddedInverters, ares.AddedInverters)
+			}
+			if pres.Legalization != ares.Legalization {
+				t.Fatalf("legalization reports diverge: %v vs %v", pres.Legalization, ares.Legalization)
+			}
+			if !reflect.DeepEqual(pres.Final, ares.Final) {
+				t.Fatalf("final metrics diverge: %v vs %v", pres.Final, ares.Final)
+			}
+			// The envelopes must be byte-identical. Elapsed is wall-clock —
+			// the only field allowed to differ — so zero it on both sides.
+			pres.Elapsed, ares.Elapsed = 0, 0
+			var pb, ab bytes.Buffer
+			if err := EncodeResult(&pb, pres); err != nil {
+				t.Fatal(err)
+			}
+			if err := EncodeResult(&ab, ares); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pb.Bytes(), ab.Bytes()) {
+				t.Fatalf("encoded envelopes differ (%d vs %d bytes)", pb.Len(), ab.Len())
+			}
+		})
+	}
+}
+
+// TestArenaDirtyJournalParityRandom: an arena built natively by DME and an
+// arena flattened from the pointer-built tree must not only agree on
+// content — after an identical randomized mutation burst their dirty
+// journals must be identical too, so downstream incremental consumers see
+// the same invalidation set whichever way the arena was produced.
+func TestArenaDirtyJournalParityRandom(t *testing.T) {
+	tk := tech.Default45()
+	for _, seed := range []int64{3, 11, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBench(seed, 60)
+		ptr := ctree.FromTree(dme.BuildZST(tk, b.Source, b.Sinks, dme.Options{}))
+		arn := dme.BuildZSTArena(tk, b.Source, b.Sinks, dme.Options{})
+		if arn.Len() != ptr.Len() {
+			t.Fatalf("seed %d: arena sizes differ: %d vs %d", seed, arn.Len(), ptr.Len())
+		}
+		ptr.ClearDirty()
+		arn.ClearDirty()
+		comp := tech.Composite{Type: tk.Inverters[0], N: 2}
+		for burst := 0; burst < 200; burst++ {
+			i := int32(rng.Intn(ptr.Len()))
+			if !ptr.Alive.Test(int(i)) {
+				continue
+			}
+			switch op := rng.Intn(5); {
+			case op == 0:
+				w := rng.Intn(len(tk.Wires))
+				ptr.SetWidth(i, w)
+				arn.SetWidth(i, w)
+			case op == 1:
+				v := rng.Float64() * 40
+				ptr.SetSnake(i, v)
+				arn.SetSnake(i, v)
+			case op == 2:
+				dv := rng.Float64() * 10
+				ptr.AddSnake(i, dv)
+				arn.AddSnake(i, dv)
+			case op == 3 && ptr.BufN[i] > 0:
+				n := 1 + rng.Intn(4)
+				ptr.SetBufferSize(i, n)
+				arn.SetBufferSize(i, n)
+			case op == 4 && ptr.Parent[i] >= 0 && ptr.EdgeLen(i) > 1:
+				d := rng.Float64() * ptr.EdgeLen(i)
+				pn := ptr.InsertOnEdge(i, d, ctree.Buffer)
+				an := arn.InsertOnEdge(i, d, ctree.Buffer)
+				if pn != an {
+					t.Fatalf("seed %d: InsertOnEdge slot ids diverge: %d vs %d", seed, pn, an)
+				}
+				ptr.SetBuf(pn, comp)
+				arn.SetBuf(an, comp)
+			}
+		}
+		if !reflect.DeepEqual(ptr.DirtyIDs(), arn.DirtyIDs()) {
+			t.Fatalf("seed %d: dirty journals diverge:\n  pointer: %v\n  arena:   %v",
+				seed, ptr.DirtyIDs(), arn.DirtyIDs())
+		}
+		pt, err := ptr.ToTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, err := arn.ToTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctree.Equal(pt, at); err != nil {
+			t.Fatalf("seed %d: trees diverge after burst: %v", seed, err)
+		}
+	}
+}

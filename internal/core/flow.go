@@ -97,6 +97,11 @@ func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Res
 	var inc *spice.Incremental
 	s := &flow.State{Opts: o, Bench: b}
 	s.ArmEval = func(ctx context.Context, s *flow.State) error {
+		// Arena-native construction materializes the pointer tree exactly
+		// here: the first consumer that needs node graphs is the evaluator.
+		if err := s.MaterializeTree(); err != nil {
+			return err
+		}
 		if s.Tree == nil {
 			// A mis-ordered custom plan (an evaluated or gated pass before
 			// zst) parses fine; fail the run cleanly instead of letting the
@@ -126,6 +131,11 @@ func SynthesizeContext(ctx context.Context, b *bench.Benchmark, o Options) (*Res
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		return nil, err
+	}
+	// A construction-only plan that never armed the evaluator still owes the
+	// caller a pointer tree.
+	if err := s.MaterializeTree(); err != nil {
 		return nil, err
 	}
 	if s.Tree == nil {

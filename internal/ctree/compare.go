@@ -1,0 +1,75 @@
+package ctree
+
+import "fmt"
+
+// Equal reports whether two trees are bit-identical: same ID space, same
+// topology in the same child order, and exactly equal (not merely
+// approximately equal) locations, routes, snakes, widths, loads and buffer
+// composites. The construction-parity property tests use it to pin the
+// arena-native passes against the pointer-built reference; the returned
+// error names the first divergence.
+func Equal(a, b *Tree) error {
+	if a.MaxID() != b.MaxID() {
+		return fmt.Errorf("ctree: MaxID %d != %d", a.MaxID(), b.MaxID())
+	}
+	for id := 0; id < a.MaxID(); id++ {
+		na, nb := a.Node(id), b.Node(id)
+		if (na == nil) != (nb == nil) {
+			return fmt.Errorf("ctree: node %d present in one tree only", id)
+		}
+		if na == nil {
+			continue
+		}
+		if na.Kind != nb.Kind {
+			return fmt.Errorf("ctree: node %d kind %v != %v", id, na.Kind, nb.Kind)
+		}
+		if na.Loc != nb.Loc {
+			return fmt.Errorf("ctree: node %d loc %v != %v", id, na.Loc, nb.Loc)
+		}
+		if na.WidthIdx != nb.WidthIdx {
+			return fmt.Errorf("ctree: node %d width %d != %d", id, na.WidthIdx, nb.WidthIdx)
+		}
+		if na.Snake != nb.Snake {
+			return fmt.Errorf("ctree: node %d snake %v != %v", id, na.Snake, nb.Snake)
+		}
+		if na.SinkCap != nb.SinkCap {
+			return fmt.Errorf("ctree: node %d sinkcap %v != %v", id, na.SinkCap, nb.SinkCap)
+		}
+		if na.Name != nb.Name {
+			return fmt.Errorf("ctree: node %d name %q != %q", id, na.Name, nb.Name)
+		}
+		if (na.Buf == nil) != (nb.Buf == nil) {
+			return fmt.Errorf("ctree: node %d buffer present in one tree only", id)
+		}
+		if na.Buf != nil && *na.Buf != *nb.Buf {
+			return fmt.Errorf("ctree: node %d buffer %+v != %+v", id, *na.Buf, *nb.Buf)
+		}
+		pa, pb := -1, -1
+		if na.Parent != nil {
+			pa = na.Parent.ID
+		}
+		if nb.Parent != nil {
+			pb = nb.Parent.ID
+		}
+		if pa != pb {
+			return fmt.Errorf("ctree: node %d parent %d != %d", id, pa, pb)
+		}
+		if len(na.Route) != len(nb.Route) {
+			return fmt.Errorf("ctree: node %d route length %d != %d", id, len(na.Route), len(nb.Route))
+		}
+		for k := range na.Route {
+			if na.Route[k] != nb.Route[k] {
+				return fmt.Errorf("ctree: node %d route point %d: %v != %v", id, k, na.Route[k], nb.Route[k])
+			}
+		}
+		if len(na.Children) != len(nb.Children) {
+			return fmt.Errorf("ctree: node %d child count %d != %d", id, len(na.Children), len(nb.Children))
+		}
+		for k := range na.Children {
+			if na.Children[k].ID != nb.Children[k].ID {
+				return fmt.Errorf("ctree: node %d child %d: %d != %d", id, k, na.Children[k].ID, nb.Children[k].ID)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package dme
+
+import (
+	"math/rand"
+	"testing"
+
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+func TestArenaBuildMatchesPointerPath(t *testing.T) {
+	tk := tech.Default45()
+	die := geom.NewRect(0, 0, 6000, 4000)
+	src := geom.Pt(0, 2000)
+	for _, tc := range []struct {
+		name string
+		n    int
+		opt  Options
+	}{
+		{"nn-small", 17, Options{Topology: "nn"}},
+		{"nn-coincident", 9, Options{Topology: "nn"}},
+		{"mmm-small", 33, Options{Topology: "mmm"}},
+		{"mmm-large", 1500, Options{}},
+		{"mmm-nobalance", 700, Options{NoBalance: true}},
+		{"mmm-nosnake", 700, Options{NoSnake: true}},
+		{"mmm-quantized", 700, Options{TapQuantum: 5}},
+		{"empty", 0, Options{}},
+		{"single", 1, Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.n)))
+			sinks := randomSinks(rng, tc.n, die)
+			if tc.name == "nn-coincident" {
+				for i := range sinks {
+					sinks[i].Loc = geom.Pt(500, 500)
+				}
+			}
+			want := BuildZST(tk, src, sinks, tc.opt)
+			a := BuildZSTArena(tk, src, sinks, tc.opt)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("arena invalid: %v", err)
+			}
+			got, err := a.ToTree()
+			if err != nil {
+				t.Fatalf("ToTree: %v", err)
+			}
+			if err := ctree.Equal(want, got); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestArenaBuildParallelBitIdentical(t *testing.T) {
+	tk := tech.Default45()
+	rng := rand.New(rand.NewSource(11))
+	sinks := randomSinks(rng, 6000, geom.NewRect(0, 0, 9000, 9000))
+	serial := BuildZSTArena(tk, geom.Pt(0, 0), sinks, Options{})
+	for _, par := range []int{2, 4, 8} {
+		parallel := BuildZSTArena(tk, geom.Pt(0, 0), sinks, Options{Parallelism: par})
+		wantTree, err := serial.ToTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTree, err := parallel.ToTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctree.Equal(wantTree, gotTree); err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+	}
+}
+
+func TestArenaScratchReuse(t *testing.T) {
+	tk := tech.Default45()
+	var sc Scratch
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 4; round++ {
+		n := 50 + round*400
+		sinks := randomSinks(rng, n, geom.NewRect(0, 0, 5000, 5000))
+		want := BuildZST(tk, geom.Pt(0, 0), sinks, Options{})
+		a := BuildZSTArenaScratch(tk, geom.Pt(0, 0), sinks, Options{}, &sc)
+		got, err := a.ToTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctree.Equal(want, got); err != nil {
+			t.Fatalf("round %d (n=%d): %v", round, n, err)
+		}
+	}
+}

@@ -48,6 +48,15 @@ type Options struct {
 	// TapQuantum, when positive, rounds tapping distances to this grid
 	// (µm), emulating bounded-skew merging-region quantization.
 	TapQuantum float64
+
+	// Parallelism bounds the number of goroutines the arena-native MMM
+	// build may use for independent subtree merges (0 or 1 = serial).
+	// The recursion pre-assigns every subtree a disjoint merge-segment
+	// range, so the parallel schedule performs exactly the serial
+	// floating-point work on exactly the serial operand order — results
+	// are bit-identical regardless of this setting. It does not affect
+	// cache keys and the pointer-path BuildZST ignores it.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -123,15 +132,48 @@ func BuildZST(tk *tech.Tech, source geom.Point, sinks []Sink, opt Options) *ctre
 	return tr
 }
 
+// subtree is the Elmore state of a merge-candidate root: its position, total
+// downstream capacitance and zero-skew delay. mergeKernel consumes two of
+// these regardless of whether the caller keeps its merge tree as pointer
+// mnodes or flat arena segments.
+type subtree struct {
+	loc   geom.Point
+	cap   float64
+	delay float64
+}
+
+// merged is mergeKernel's result: the tapping-point state plus any snaking
+// assigned to the left/right child edges.
+type merged struct {
+	loc            geom.Point
+	cap, delay     float64
+	snakeL, snakeR float64
+}
+
 // merge combines two subtrees with an Elmore-balanced tapping point and
-// returns the merged node (Tsay's exact zero-skew construction). Baseline
-// options degrade it deliberately: NoBalance taps at the midpoint,
-// TapQuantum snaps the tapping point to a grid, NoSnake clamps instead of
-// elongating.
+// returns the merged node (Tsay's exact zero-skew construction).
 func merge(a, b *mnode, w tech.WireType, opt Options) *mnode {
+	out := mergeKernel(
+		subtree{loc: a.loc, cap: a.cap, delay: a.delay},
+		subtree{loc: b.loc, cap: b.cap, delay: b.delay},
+		w, opt)
+	return &mnode{
+		left: a, right: b,
+		loc: out.loc, cap: out.cap, delay: out.delay,
+		snakeL: out.snakeL, snakeR: out.snakeR,
+	}
+}
+
+// mergeKernel is the single source of truth for the zero-skew merge math.
+// Both the pointer-node path (merge) and the arena path share it, so the two
+// constructions perform the same floating-point operations in the same order
+// and stay bit-identical. Baseline options degrade it deliberately:
+// NoBalance taps at the midpoint, TapQuantum snaps the tapping point to a
+// grid, NoSnake clamps instead of elongating.
+func mergeKernel(a, b subtree, w tech.WireType, opt Options) merged {
 	r, c := w.RPerUm, w.CPerUm
 	L := a.loc.Manhattan(b.loc)
-	m := &mnode{left: a, right: b}
+	var m merged
 
 	if L == 0 {
 		// Coincident roots: balance purely by snaking the faster side.

@@ -31,8 +31,17 @@ type State struct {
 	Opts  Options // resolved options (Options.Resolve)
 	Bench *bench.Benchmark
 
+	// Tree is the pointer-form clock tree. During arena-native construction
+	// (the default) it stays nil while the construction passes build Arena;
+	// MaterializeTree converts exactly once, right before the first consumer
+	// that needs pointer nodes (arming the evaluator, or finishing a
+	// construction-only run).
 	Tree *ctree.Tree
-	Obs  *geom.ObstacleSet
+	// Arena is the SoA form the construction passes build into. Once Tree
+	// has been materialized, Tree is authoritative and construction passes
+	// fall back to it.
+	Arena *ctree.Arena
+	Obs   *geom.ObstacleSet
 	// Opt is the optimization-pass context around the accurate evaluator.
 	// It is nil until the pipeline arms it (lazily, before the first pass
 	// registered with NeedsEval).
@@ -82,6 +91,31 @@ func (s *State) Progressf(format string, args ...interface{}) {
 // IsProgressLine reports whether a log line is a per-pass pipeline
 // progress event (emitted by Progressf).
 func IsProgressLine(line string) bool { return strings.HasPrefix(line, ProgressPrefix) }
+
+// BuildInArena reports whether construction passes should build into the
+// SoA arena: the arena path is on (default), and the pointer tree has not
+// been materialized yet (a custom plan that interleaves cascade and
+// construction passes keeps mutating the authoritative representation).
+func (s *State) BuildInArena() bool {
+	return !s.Opts.PointerBuild && s.Tree == nil
+}
+
+// MaterializeTree converts the arena-built tree to pointer form exactly
+// once: the arena's span arrays are compacted (dropping construction
+// garbage) and ToTree rebuilds the node graph. A no-op when the tree
+// already exists or construction ran on the pointer path.
+func (s *State) MaterializeTree() error {
+	if s.Tree != nil || s.Arena == nil {
+		return nil
+	}
+	s.Arena.Compact()
+	tr, err := s.Arena.ToTree()
+	if err != nil {
+		return err
+	}
+	s.Tree = tr
+	return nil
+}
 
 // EnsureEval arms the accurate evaluator exactly once (via the ArmEval
 // hook). Passes registered with NeedsEval, cycle groups and gate

@@ -17,9 +17,11 @@ type Maze struct {
 	blocked []bool
 
 	// Search scratch, reused across Route calls.
-	dist []float64
-	prev []int32
-	pq   mazePQ
+	dist  []float64
+	prev  []int32
+	pq    mazePQ
+	cells []int32
+	path  Polyline
 }
 
 // NewMaze rasterizes the obstacle set onto a grid with the given cell size
@@ -212,18 +214,23 @@ func (m *Maze) Route(a, b Point) (Polyline, error) {
 	if math.IsInf(dist[target], 1) {
 		return nil, ErrNoRoute
 	}
-	var cells []int
+	// Backtrack and build the raw path in scratch reused across calls; the
+	// returned polyline is the fresh copy Rectify makes, so it never aliases
+	// the scratch.
+	cells := m.cells[:0]
 	for c := target; c != -1; c = int(prev[c]) {
-		cells = append(cells, c)
+		cells = append(cells, int32(c))
 		if c == start {
 			break
 		}
 	}
-	pl := Polyline{a}
+	m.cells = cells
+	pl := append(m.path[:0], a)
 	for i := len(cells) - 1; i >= 0; i-- {
-		c := cells[i]
+		c := int(cells[i])
 		pl = append(pl, m.center(c%m.nx, c/m.nx))
 	}
 	pl = append(pl, b)
+	m.path = pl
 	return pl.Rectify().Simplify(), nil
 }

@@ -88,6 +88,47 @@ func TestMazeRouteMatchesManhattanOnEmptyGrid(t *testing.T) {
 	}
 }
 
+func TestMazeRouteScratchReuse(t *testing.T) {
+	// Repeated Route calls on one Maze must not grow scratch per call: after
+	// a warm-up, the only allocations left are the returned polyline (the
+	// Rectify copy and, when it drops points, the Simplify copy).
+	die := NewRect(0, 0, 1000, 1000)
+	obs := NewObstacleSet([]Obstacle{{Rect: NewRect(400, 0, 600, 900)}})
+	m := NewMaze(die, 10, obs)
+	a, b := Pt(100, 450), Pt(900, 450)
+	if _, err := m.Route(a, b); err != nil { // warm up scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.Route(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Route allocates %.0f objects per call, want <= 2 (result only)", allocs)
+	}
+}
+
+func TestMazeRouteScratchDoesNotAliasResult(t *testing.T) {
+	// The returned polyline must survive later Route calls reusing scratch.
+	m := NewMaze(NewRect(0, 0, 500, 500), 10, nil)
+	first, err := m.Route(Pt(10, 10), Pt(490, 480))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append(Polyline(nil), first...)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Route(Pt(float64(20*i), 490), Pt(480, float64(30*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range saved {
+		if !first[i].Eq(saved[i], 0) {
+			t.Fatalf("result polyline mutated by later Route calls at %d: %v != %v", i, first[i], saved[i])
+		}
+	}
+}
+
 func TestMazeEscapeFromBlockedEndpoint(t *testing.T) {
 	// A sink sitting inside an obstacle footprint (cell-wise) must still be
 	// reachable: escape through blocked cells is allowed at the endpoints.

@@ -21,7 +21,9 @@ func (pl Polyline) Rectify() Polyline {
 	if len(pl) == 0 {
 		return nil
 	}
-	out := Polyline{pl[0]}
+	// Worst case inserts one bend per hop: allocate once.
+	out := make(Polyline, 1, 2*len(pl)-1)
+	out[0] = pl[0]
 	for i := 1; i < len(pl); i++ {
 		prev := out[len(out)-1]
 		cur := pl[i]
@@ -40,7 +42,9 @@ func (pl Polyline) Simplify() Polyline {
 	if len(pl) < 3 {
 		return pl
 	}
-	out := Polyline{pl[0]}
+	// Never grows past the input: allocate once.
+	out := make(Polyline, 1, len(pl))
+	out[0] = pl[0]
 	for i := 1; i < len(pl); i++ {
 		p := pl[i]
 		last := out[len(out)-1]

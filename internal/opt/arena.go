@@ -1,0 +1,25 @@
+package opt
+
+import "contango/internal/ctree"
+
+// TrunkArena is the slot-index form of Trunk: the chain of slots from the
+// root's child down to (and excluding) the first slot with more than one
+// child. Arena-native flows and the construction parity tests use it where
+// pointer nodes have not been materialized yet; on mirrored trees it
+// returns exactly the IDs of the nodes Trunk returns.
+func TrunkArena(a *ctree.Arena) []int32 {
+	var out []int32
+	kids := a.Children(a.Root())
+	if len(kids) != 1 {
+		return out
+	}
+	cur := kids[0]
+	for {
+		kids = a.Children(cur)
+		if len(kids) != 1 {
+			return out
+		}
+		out = append(out, cur)
+		cur = kids[0]
+	}
+}

@@ -1,14 +1,16 @@
-// Scale harness: the million-sink-class benchmark CI gates. One timed pass
-// covers the whole large-instance data path — streaming load of a generated
-// TI-scale case, DME construction, buffering, the batched multi-corner
-// closed-form kernels, and an arena round-trip — and reports peak RSS next
-// to the standard ns/B/allocs columns so memory blowups fail the bench gate
-// rather than only the CI runner.
+// Scale harness: the million-sink-class benchmark CI gates. The large-
+// instance data path is timed phase by phase — streaming load of a generated
+// TI-scale case, arena-native DME construction, arena buffering, the batched
+// multi-corner closed-form kernels, and the arena/pointer round-trip — and
+// every phase reports peak RSS next to the standard ns/B/allocs columns so a
+// memory blowup fails the bench gate rather than only the CI runner. A
+// gated full-million construction row measures the top of the curve.
 package contango
 
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"contango/internal/analysis"
@@ -23,8 +25,17 @@ import (
 // scaleSinks is the CI size: large enough that per-node constant factors
 // dominate (the regime the arena layout targets), small enough to finish a
 // -benchtime=1x run in a normal CI slot. The generator streams any size up
-// to a million and beyond; raise this locally to measure the full curve.
-const scaleSinks = 100_000
+// to a million and beyond; the gated "1M" row below measures the full curve.
+const scaleSinks = 250_000
+
+// millionSinks is the gated top-of-curve size (set CONTANGO_SCALE_1M=1).
+const millionSinks = 1_000_000
+
+func reportPeakRSS(b *testing.B) {
+	if rss := peakRSSMB(); rss > 0 {
+		b.ReportMetric(rss, "peak-rss-MB")
+	}
+}
 
 func BenchmarkMillionSink(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "ti-scale.cns")
@@ -45,20 +56,71 @@ func BenchmarkMillionSink(b *testing.B) {
 	}
 	comp := tech.Composite{Type: tk.Inverters[1], N: 8}
 
-	b.Run("100k", func(b *testing.B) {
+	// Later phases reuse the previous phase's last output, so each
+	// sub-benchmark times exactly one phase of the pipeline. When -bench
+	// filters skip an earlier phase its fixture is rebuilt untimed.
+	var bm *bench.Benchmark
+	b.Run("load", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bm, err := bench.Load(path)
+			bm, err = bench.Load(path)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if len(bm.Sinks) != scaleSinks {
 				b.Fatalf("loaded %d sinks, want %d", len(bm.Sinks), scaleSinks)
 			}
-			tr := dme.BuildZST(tk, bm.Source, bm.Sinks, dme.Options{})
-			tr.SourceR = bm.SourceR
-			if _, err := buffering.BalancedInsert(tr, comp, buffering.Options{}); err != nil {
+		}
+		reportPeakRSS(b)
+	})
+	if bm == nil {
+		if bm, err = bench.Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// DME builds straight into the SoA arena (the product path); slots are
+	// reserved up front from the sink count, so construction is near
+	// allocation-free per node.
+	var built *ctree.Arena
+	b.Run("dme", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			built = dme.BuildZSTArena(tk, bm.Source, bm.Sinks, dme.Options{})
+			built.SourceR = bm.SourceR
+		}
+		reportPeakRSS(b)
+	})
+	if built == nil {
+		built = dme.BuildZSTArena(tk, bm.Source, bm.Sinks, dme.Options{})
+		built.SourceR = bm.SourceR
+	}
+
+	var buffered *ctree.Arena
+	b.Run("buffering", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			work := built.Clone()
+			b.StartTimer()
+			if _, err := buffering.BalancedInsertArena(work, comp, buffering.Options{}); err != nil {
 				b.Fatal(err)
 			}
+			buffered = work
+		}
+		reportPeakRSS(b)
+	})
+	if buffered == nil {
+		buffered = built.Clone()
+		if _, err := buffering.BalancedInsertArena(buffered, comp, buffering.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buffered.Compact()
+	tr, err := buffered.ToTree()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
 			// Batched closed-form evaluation: all five corners in one
 			// topology sweep (transient simulation is the small-instance
 			// tool; at this size the closed-form kernels are the product
@@ -76,8 +138,14 @@ func BenchmarkMillionSink(b *testing.B) {
 					b.Fatalf("corner %d: %d arrivals, want %d", k, len(r.Rise), scaleSinks)
 				}
 			}
-			// Arena round-trip: the SoA layout must carry the full-size
-			// tree losslessly (the codec path runs on it).
+		}
+		reportPeakRSS(b)
+	})
+
+	b.Run("roundtrip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The SoA layout must carry the full-size tree losslessly (the
+			// codec path runs on it).
 			a := ctree.FromTree(tr)
 			if a.NumNodes() != tr.NumNodes() {
 				b.Fatalf("arena holds %d nodes, tree %d", a.NumNodes(), tr.NumNodes())
@@ -90,8 +158,42 @@ func BenchmarkMillionSink(b *testing.B) {
 				b.Fatalf("round-trip lost nodes: %d vs %d", back.NumNodes(), tr.NumNodes())
 			}
 		}
-		if rss := peakRSSMB(); rss > 0 {
-			b.ReportMetric(rss, "peak-rss-MB")
+		reportPeakRSS(b)
+	})
+
+	// The top-of-curve row: stream-generate and arena-build the full
+	// million-sink case. Gated because generation plus construction is too
+	// slow for every CI bench pass; the scale-smoke job runs it under
+	// GOMEMLIMIT, where peak RSS growing sub-linearly vs the 250k phases is
+	// the acceptance signal.
+	b.Run("1M", func(b *testing.B) {
+		if os.Getenv("CONTANGO_SCALE_1M") == "" {
+			b.Skip("set CONTANGO_SCALE_1M=1 to run the full million-sink construction row")
 		}
+		mpath := filepath.Join(b.TempDir(), "ti-scale-1m.cns")
+		mf, err := os.Create(mpath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.GenerateTIScale(mf, millionSinks, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mbm, err := bench.Load(mpath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := dme.BuildZSTArena(tk, mbm.Source, mbm.Sinks,
+				dme.Options{Parallelism: runtime.GOMAXPROCS(0)})
+			a.SourceR = mbm.SourceR
+			if a.NumNodes() < millionSinks {
+				b.Fatalf("arena holds %d nodes, want >= %d", a.NumNodes(), millionSinks)
+			}
+		}
+		reportPeakRSS(b)
 	})
 }
