@@ -213,6 +213,65 @@ func compare(base, cur *Snapshot, threshold, minNs float64, normalize string) (r
 	return regressions, notes
 }
 
+// parseExtraGates parses the -extra-gate spec: comma-separated "key:pct"
+// items, where key is a custom b.ReportMetric unit and pct is the signed
+// allowed drift vs the baseline. A positive pct gates increases (the
+// metric may grow at most pct percent — sizes, where bigger is worse); a
+// negative pct gates decreases (the metric may shrink at most |pct|
+// percent — ratios like full-vs-eco-x, where smaller is worse).
+func parseExtraGates(spec string) (map[string]float64, error) {
+	gates := map[string]float64{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		i := strings.LastIndex(item, ":")
+		if i <= 0 || i == len(item)-1 {
+			return nil, fmt.Errorf("benchci: -extra-gate wants 'key:pct', got %q", item)
+		}
+		pct, err := strconv.ParseFloat(item[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchci: bad -extra-gate percentage %q: %w", item[i+1:], err)
+		}
+		gates[item[:i]] = pct
+	}
+	return gates, nil
+}
+
+// compareExtra diffs custom metrics (Extra) against the baseline. Extra
+// metrics are warn-only by default — a drifted value prints a note, never
+// fails the run — because most of them (peak RSS, speedup ratios) are
+// noisier than ns/op at -benchtime=1x. Keys named in gates are opted into
+// gating with a per-key signed threshold (see parseExtraGates).
+func compareExtra(base, cur *Snapshot, gates map[string]float64) (regressions, notes []string) {
+	const warnDrift = 0.30
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue // compare already noted the missing row
+		}
+		for unit, bv := range b.Extra {
+			cv, ok := c.Extra[unit]
+			if !ok || bv <= 0 {
+				continue
+			}
+			rel := cv/bv - 1
+			line := fmt.Sprintf("%s: %.2f -> %.2f %s (%+.1f%%)", name, bv, cv, unit, 100*rel)
+			if pct, gated := gates[unit]; gated {
+				if (pct >= 0 && rel > pct/100) || (pct < 0 && rel < pct/100) {
+					regressions = append(regressions, line)
+					continue
+				}
+			}
+			if rel > warnDrift || rel < -warnDrift {
+				notes = append(notes, line+" [extra metric, warn-only]")
+			}
+		}
+	}
+	return regressions, notes
+}
+
 // checkRequired returns one message per benchmark named in the
 // comma-separated spec that is missing from the current snapshot. It backs
 // the plan-matrix smoke gate: CI requires the named plan benchmarks to
@@ -271,6 +330,8 @@ func main() {
 	normalize := flag.String("normalize", "", "reference benchmark; both snapshots are rescaled by its timing to cancel machine-speed differences")
 	speedup := flag.String("speedup", "", "require 'slowBench,fastBench,minRatio' in the current run")
 	require := flag.String("require", "", "comma-separated benchmarks that must be present in the current run (smoke gate)")
+	extraGate := flag.String("extra-gate", "", "gate custom metrics vs the baseline: comma-separated 'key:pct' with signed drift "+
+		"(e.g. 'full-vs-eco-x:-20' fails a >20% ratio drop; ungated custom metrics stay warn-only)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -296,6 +357,10 @@ func main() {
 		}
 		fmt.Printf("benchci: wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
 	}
+	gates, err := parseExtraGates(*extraGate)
+	if err != nil {
+		fatal(err)
+	}
 	failed := false
 	if *baseline != "" {
 		base, err := load(*baseline)
@@ -303,6 +368,9 @@ func main() {
 			fatal(err)
 		}
 		regressions, notes := compare(base, cur, *threshold, *minNs, *normalize)
+		xr, xn := compareExtra(base, cur, gates)
+		regressions = append(regressions, xr...)
+		notes = append(notes, xn...)
 		for _, n := range notes {
 			fmt.Println("benchci: note:", n)
 		}

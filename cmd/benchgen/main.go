@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"contango/internal/bench"
+	"contango/internal/eco"
 )
 
 // maxReasonableSinks is where we start warning: cases past 2M sinks are
@@ -74,7 +75,16 @@ func main() {
 	sinks := flag.Int("sinks", 0, "alias of -ti: TI-style sink count")
 	seed := flag.Int64("seed", 1, "sampling seed for TI mode")
 	force := flag.Bool("force", false, "generate even when the estimated synthesis peak RSS exceeds available memory")
+	ecoPerturb := flag.Float64("eco-perturb", 0, "emit a deterministic ECO delta perturbing this fraction of an existing benchmark's sinks (requires -from)")
+	from := flag.String("from", "", "benchmark file (.cns) the -eco-perturb delta is generated against")
 	flag.Parse()
+
+	if *ecoPerturb > 0 || *from != "" {
+		if err := writeECODelta(*out, *from, *ecoPerturb, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	n := *ti
 	if *sinks != 0 {
@@ -146,6 +156,36 @@ func main() {
 			write(b)
 		}
 	}
+}
+
+// writeECODelta generates the deterministic perturbation delta for an
+// existing benchmark file and writes it next to the generated cases as
+// <name>.eco, in the canonical delta text format contango -eco consumes.
+func writeECODelta(out, from string, frac float64, seed int64) error {
+	if from == "" {
+		return fmt.Errorf("benchgen: -eco-perturb requires -from <file.cns> naming the benchmark to perturb")
+	}
+	if frac <= 0 {
+		return fmt.Errorf("benchgen: -from requires -eco-perturb with a fraction in (0,1]")
+	}
+	b, err := bench.Load(from)
+	if err != nil {
+		return err
+	}
+	d, err := eco.Generate(b, frac, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(out, b.Name+".eco")
+	if err := os.WriteFile(path, []byte(d.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d ops: %d moved, %d added, %d removed)\n",
+		path, d.Size(), len(d.Moved), len(d.Added), len(d.Removed))
+	return nil
 }
 
 func flagPassed(name string) bool {

@@ -18,6 +18,7 @@ import (
 	"contango/internal/bench"
 	"contango/internal/core"
 	"contango/internal/corners"
+	"contango/internal/eco"
 	"contango/internal/flow"
 	"contango/internal/obs"
 	"contango/internal/service"
@@ -42,6 +43,8 @@ func main() {
 		", or 'mc:<n>:<seed>[:vsigma[:rsigma[:csigma]]]' for Monte Carlo variation samples")
 	cacheDir := flag.String("cache-dir", "", "durable result store to reuse prior results from and persist this run's result to (shareable with contangod -data-dir)")
 	deadline := flag.Duration("deadline", 0, "soft wall-clock deadline for the run; reported as met or missed on stderr, never kills the run (0 = none)")
+	ecoFile := flag.String("eco", "", "ECO delta file: incrementally re-synthesize the -base run with this delta applied (requires -cache-dir and -base; -bench is ignored)")
+	baseKey := flag.String("base", "", "content key of the finished base run an -eco delta applies to")
 	flag.Parse()
 
 	if *listPlans {
@@ -71,10 +74,6 @@ func main() {
 		fail(err)
 	}
 
-	b, err := loadBench(*name)
-	if err != nil {
-		fail(err)
-	}
 	opt := core.Options{FastSim: *fast, LargeInverters: *large, Parallelism: *parallel, FullEval: *fullEval,
 		Plan: *plan, Corners: *cornerSpec}
 	if level == "debug" {
@@ -84,16 +83,30 @@ func main() {
 	// The durable store is keyed by the same content address the service
 	// uses (JobKey excludes hooks and parallelism), so the one-shot CLI,
 	// repeated invocations of itself and a contangod sharing the directory
-	// all reuse each other's finished results.
+	// all reuse each other's finished results. It opens before the
+	// benchmark resolves because ECO mode reads its benchmark out of the
+	// store: the base run's result plus the delta.
 	started := time.Now()
 	var st *store.Store
-	var key string
-	var res *core.Result
 	if *cacheDir != "" {
 		st, err = store.Open(*cacheDir, true)
 		if err != nil {
 			fail(err)
 		}
+	}
+	var b *bench.Benchmark
+	if *ecoFile != "" {
+		b, err = setupECO(st, *ecoFile, *baseKey, &opt)
+	} else {
+		b, err = loadBench(*name)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var key string
+	var res *core.Result
+	if st != nil {
 		key = service.JobKey(b, opt)
 		if data, gerr := st.Get(service.ResultArtifactKey(key)); gerr == nil {
 			if cached, derr := core.DecodeResult(bytes.NewReader(data)); derr == nil {
@@ -116,6 +129,9 @@ func main() {
 			}
 			if perr != nil {
 				logger.Warn("result not cached", "error", perr.Error())
+			} else {
+				// The full key is what -eco -base wants back.
+				logger.Info("result cached", "bench", b.Name, "key", key, "cache_dir", *cacheDir)
 			}
 		}
 	}
@@ -172,6 +188,47 @@ func main() {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *svg)
 	}
+}
+
+// setupECO resolves an incremental run: it loads the base run's result
+// from the store, applies the delta file to the base benchmark, and fills
+// opt with the ECO spec (defaulting the plan to the "eco" builtin). The
+// returned benchmark is the perturbed one — the extended content key then
+// caches the ECO result like any other run.
+func setupECO(st *store.Store, ecoFile, baseKey string, opt *core.Options) (*bench.Benchmark, error) {
+	if st == nil {
+		return nil, fmt.Errorf("-eco requires -cache-dir: the base result lives in the durable store")
+	}
+	if baseKey == "" {
+		return nil, fmt.Errorf("-eco requires -base with the base run's content key")
+	}
+	data, err := st.Get(service.ResultArtifactKey(baseKey))
+	if err != nil {
+		return nil, fmt.Errorf("base result %s: %w (run the base synthesis with -cache-dir first)", baseKey, err)
+	}
+	base, err := core.DecodeResult(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("base result %s: %w", baseKey, err)
+	}
+	f, err := os.Open(ecoFile)
+	if err != nil {
+		return nil, err
+	}
+	d, err := eco.ParseDelta(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.Perturb(base.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Plan == "" {
+		opt.Plan = "eco"
+	}
+	opt.ECO = &eco.Spec{BaseKey: baseKey, Delta: d, Base: base.Tree,
+		Composite: base.Composite, BaseElapsed: base.Elapsed}
+	return b, nil
 }
 
 func loadBench(name string) (*bench.Benchmark, error) {

@@ -525,6 +525,27 @@ func CorrectPolarityArena(a *ctree.Arena, inv tech.Composite, obs *geom.Obstacle
 	return added
 }
 
+// CorrectSinkPolarityArena repairs one sink's inversion parity in place:
+// when the root path crosses an odd number of inverting stages, one
+// inverter lands at the sink end of its edge — the site the antichain pass
+// picks for an isolated wrong-parity sink. Returns the inverters added (0
+// or 1). This is the scoped form ECO repair uses: on a polarity-correct
+// base only the re-attached sinks can be wrong, so fixing them one by one
+// replaces the whole-tree parity scan.
+func CorrectSinkPolarityArena(a *ctree.Arena, sink int32, inv tech.Composite, obs *geom.ObstacleSet) int {
+	p := 0
+	for i := sink; i >= 0; i = a.Parent[i] {
+		if a.Kind[i] == ctree.Buffer {
+			p ^= 1
+		}
+	}
+	if p == 0 {
+		return 0
+	}
+	insertInverterAboveArena(a, sink, a.Route(sink).Length(), inv, obs)
+	return 1
+}
+
 // insertInverterAboveArena mirrors insertInverterAbove on a slot index.
 func insertInverterAboveArena(a *ctree.Arena, n int32, d float64, inv tech.Composite, obs *geom.ObstacleSet) int32 {
 	if obs != nil {
@@ -613,4 +634,85 @@ func InsertBestCompositeArena(a *ctree.Arena, ladder []tech.Composite, capLimit,
 	}
 	*a = *bestArena
 	return best, nil
+}
+
+// StageLoadArena returns the capacitive load the driver at n sees: its
+// children's wire capacitance plus sink loads, with downstream buffered
+// nodes contributing their input capacitance instead of their subtrees
+// (the stage boundary of the composite-buffered tree). The ECO repair path
+// uses it to decide whether a re-attached sink overloads its stage.
+func StageLoadArena(a *ctree.Arena, n int32) float64 {
+	load := 0.0
+	var walk func(int32)
+	walk = func(c int32) {
+		load += a.EdgeCap(c)
+		if a.BufN[c] > 0 {
+			load += (tech.Composite{Type: a.BufType[c], N: int(a.BufN[c])}).Cin()
+			return
+		}
+		if a.Kind[c] == ctree.Sink {
+			load += a.SinkCap[c]
+			return
+		}
+		for _, k := range a.Children(c) {
+			walk(k)
+		}
+	}
+	for _, c := range a.Children(n) {
+		walk(c)
+	}
+	return load
+}
+
+// RebufferSinkArena restores the stage-load invariant around one
+// re-attached sink: when the nearest buffered ancestor's stage load
+// exceeds the composite's safe load, the van Ginneken DP runs over just
+// the sink's own edge and realizes its best buffered option, decoupling
+// the new load from the existing stage. The rest of the tree's buffering
+// is never touched — this is the locality-scoped repair ECO applications
+// rely on. Returns the number of buffers added (0 when the stage still
+// has headroom or the sink is detached).
+func RebufferSinkArena(a *ctree.Arena, sink int32, comp tech.Composite, opt Options) int {
+	if a.Parent[sink] < 0 || a.Kind[sink] != ctree.Sink {
+		return 0
+	}
+	opt.defaults()
+	ins := &arenaInserter{a: a, comp: comp, opt: opt}
+	ins.maxCap = opt.MaxCap
+	if ins.maxCap == 0 {
+		ins.maxCap = SafeLoad(a.Tech, comp)
+	}
+	if ins.maxCap <= comp.Cin() {
+		return 0
+	}
+	anc := a.Parent[sink]
+	for a.Parent[anc] >= 0 && a.BufN[anc] == 0 {
+		anc = a.Parent[anc]
+	}
+	if StageLoadArena(a, anc) <= ins.maxCap {
+		return 0
+	}
+	// The same option scoring InsertArena uses at the root, with the
+	// decoupling composite itself as the driver model; unbuffered options
+	// cannot reduce the overloaded stage, so only buffered ones compete.
+	opts := ins.edgeOptions(sink)
+	best, bestScore := -1, math.Inf(1)
+	for i, o := range opts {
+		if o.bufs == nil {
+			continue
+		}
+		score := comp.Rout()*(comp.Cout()+o.cap) + o.delay
+		if o.cap > ins.maxCap {
+			score += 1e12 // admissible only if nothing better exists
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	var poss []abufPos
+	opts[best].bufs.collect(&poss)
+	return ins.realize(poss)
 }

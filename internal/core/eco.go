@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"contango/internal/buffering"
+	"contango/internal/ctree"
+	"contango/internal/eco"
+	"contango/internal/flow"
+	"contango/internal/geom"
+)
+
+// The "eco" pass is the construction prelude of incremental re-synthesis
+// (the "eco" plan): instead of building a tree from scratch it restores
+// the base run's finished tree and replays an ECO delta against it with
+// locality-scoped repair. The tuning cascade then runs on the repaired
+// tree exactly as it would after a full construction.
+func init() {
+	flow.Register(flow.Registration{Pass: flow.NewPass("eco", passECO)})
+}
+
+// passECO restores Options.ECO's base tree into a fresh arena and applies
+// the delta. The submitted benchmark must be the delta-perturbed base
+// benchmark (eco.Delta.Perturb) — the pass cross-checks the sink count so
+// a mismatched (base, delta, benchmark) triple fails loudly instead of
+// synthesizing against the wrong netlist.
+func passECO(ctx context.Context, s *flow.State) error {
+	spec := s.Opts.ECO
+	if spec == nil || spec.Base == nil || spec.Delta == nil {
+		return fmt.Errorf("eco pass needs Options.ECO with a base tree and a delta")
+	}
+	if s.Tree != nil || s.Arena != nil {
+		return fmt.Errorf("eco pass must be the first construction pass (a tree already exists)")
+	}
+	obs := geom.NewObstacleSet(s.Bench.Obstacles)
+	s.Obs = obs
+
+	// Restore: the base pointer tree (decoded from the result envelope)
+	// maps into a fresh arena; the cached base is never mutated.
+	endRestore := spanHook(s, "eco", "restore")
+	a := ctree.FromTree(spec.Base)
+	eco.ReserveFor(a, spec.Delta)
+	endRestore()
+
+	comp := spec.Composite
+	if comp.N == 0 {
+		comp = s.Opts.Ladder[0]
+	}
+	endApply := spanHook(s, "eco", "apply")
+	rep, err := eco.Apply(a, spec.Delta, eco.Config{
+		Composite: comp,
+		Obs:       obs,
+		Die:       s.Bench.Die,
+		SafeCap:   buffering.SafeLoad(s.Opts.Tech, comp),
+	})
+	endApply()
+	if err != nil {
+		return fmt.Errorf("eco apply: %w", err)
+	}
+
+	sinks := 0
+	for i := 0; i < a.Len(); i++ {
+		if a.Alive.Test(i) && a.Kind[i] == ctree.Sink {
+			sinks++
+		}
+	}
+	if sinks != len(s.Bench.Sinks) {
+		return fmt.Errorf("eco: tree has %d sinks after the delta but the benchmark has %d (submit the delta-perturbed benchmark)",
+			sinks, len(s.Bench.Sinks))
+	}
+
+	s.Arena = a
+	s.Composite = comp
+	s.Legalization = rep.Legalization
+	s.AddedInverters = rep.AddedInverters
+	s.Logf("%s: %s", s.Bench.Name, rep)
+	return nil
+}
+
+// spanHook brackets an instrumented eco phase through the options' span
+// hook (a no-op closure when none is installed).
+func spanHook(s *flow.State, kind, name string) func() {
+	if s.Opts.SpanHook == nil {
+		return func() {}
+	}
+	return s.Opts.SpanHook(kind, name)
+}

@@ -273,6 +273,11 @@ func (a *Arena) SlideDegree2(n int32, newDist float64) {
 	child := a.Children(n)[0]
 	joined := append(append(geom.Polyline(nil), a.Route(n)...), a.Route(child)...)
 	joined = joined.Simplify()
+	if len(joined) < 2 {
+		// A fully zero-length corridor collapses to one point under
+		// Simplify; keep the 2-point route invariant.
+		joined = geom.Polyline{a.Loc[a.Parent[n]], a.Loc[child]}
+	}
 	totalSnake := a.Snake[n] + a.Snake[child]
 	total := joined.Length()
 	if newDist < 0 {
@@ -303,7 +308,13 @@ func (a *Arena) RemoveDegree2(n int32) {
 	}
 	child := a.Children(n)[0]
 	joined := append(append(geom.Polyline(nil), a.Route(n)...), a.Route(child)...)
-	a.setRoute(child, joined.Simplify())
+	joined = joined.Simplify()
+	if len(joined) < 2 {
+		// Both edges were zero-length (stacked nodes), so Simplify collapsed
+		// the join to a single point; every live edge keeps a 2-point route.
+		joined = geom.Polyline{a.Loc[a.Parent[n]], a.Loc[child]}
+	}
+	a.setRoute(child, joined)
 	a.Snake[child] += a.Snake[n]
 	a.Parent[child] = a.Parent[n]
 	ch := a.Children(a.Parent[n])

@@ -188,6 +188,139 @@ func mutateBoth(rng *rand.Rand, tr *ctree.Tree, a *ctree.Arena, tk *tech.Tech) b
 	return true
 }
 
+// structuralBurst applies count ops of one structural surgery class to
+// both representations, returning how many actually applied. Unlike
+// mutateBoth's uniform mix, a burst hammers a single mutator — the access
+// pattern ECO replay produces (a wave of detaches, then a wave of
+// attachments, then edge splits) — which is what shakes out journal drift
+// between the pointer tree and the arena's span-based storage.
+func structuralBurst(rng *rand.Rand, tr *ctree.Tree, a *ctree.Arena, class, count int) int {
+	pick := func(ids []int) (int, bool) {
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[rng.Intn(len(ids))], true
+	}
+	nonRoot := func(n *ctree.Node) bool { return n.Parent != nil }
+	applied := 0
+	for k := 0; k < count; k++ {
+		switch class {
+		case 0: // detach + reattach elsewhere
+			id, ok := pick(liveNodes(tr, nonRoot))
+			if !ok {
+				continue
+			}
+			n := tr.Node(id)
+			tid, ok := pick(liveNodes(tr, func(c *ctree.Node) bool {
+				return c.Kind != ctree.Sink && !inSubtree(n, c)
+			}))
+			if !ok {
+				continue
+			}
+			tr.Detach(n)
+			a.Detach(int32(id))
+			tr.Attach(n, tr.Node(tid), nil)
+			a.Attach(int32(id), int32(tid), nil)
+		case 1: // delete subtrees (keep at least 3 sinks alive)
+			ids := liveNodes(tr, func(n *ctree.Node) bool {
+				return n.Parent != nil && len(n.Children) == 0 && n.Kind != ctree.Sink
+			})
+			if len(tr.Sinks()) > 3 {
+				ids = append(ids, liveNodes(tr, func(n *ctree.Node) bool {
+					return n.Parent != nil && n.Kind == ctree.Sink
+				})...)
+			}
+			id, ok := pick(ids)
+			if !ok {
+				continue
+			}
+			tr.DeleteSubtree(tr.Node(id))
+			a.DeleteSubtree(int32(id))
+		case 2: // edge splits
+			id, ok := pick(liveNodes(tr, nonRoot))
+			if !ok {
+				continue
+			}
+			n := tr.Node(id)
+			d := rng.Float64() * n.EdgeLen()
+			mid := tr.InsertOnEdge(n, d, ctree.Internal)
+			amid := a.InsertOnEdge(int32(id), d, ctree.Internal)
+			if int32(mid.ID) != amid {
+				panic("insert slot diverged from node ID")
+			}
+		case 3: // sink growth
+			id, ok := pick(liveNodes(tr, func(n *ctree.Node) bool { return n.Kind != ctree.Sink }))
+			if !ok {
+				continue
+			}
+			p := tr.Node(id)
+			loc := geom.Pt(p.Loc.X+30+rng.Float64()*120, p.Loc.Y+rng.Float64()*120)
+			cap := 8 + rng.Float64()*25
+			ns := tr.AddSink(p, loc, cap, "")
+			ans := a.AddSink(int32(id), loc, cap, "")
+			if int32(ns.ID) != ans {
+				panic("sink slot diverged from node ID")
+			}
+		case 4: // degree-2 splices
+			id, ok := pick(liveNodes(tr, func(n *ctree.Node) bool {
+				return n.Parent != nil && len(n.Children) == 1 && n.Kind == ctree.Internal
+			}))
+			if !ok {
+				continue
+			}
+			tr.RemoveDegree2(tr.Node(id))
+			a.RemoveDegree2(int32(id))
+		}
+		applied++
+	}
+	return applied
+}
+
+// TestArenaPropertyStructuralBursts drives the pointer tree and the arena
+// with mirrored bursts of structural surgery — the ECO access pattern —
+// and requires, after every burst, a valid arena, and at the end equal
+// dirty journals and a lossless ToTree round-trip.
+func TestArenaPropertyStructuralBursts(t *testing.T) {
+	tk := tech.Default45()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		tr := propFixture(rng, tk)
+		a := ctree.FromTree(tr)
+		gen0 := tr.Gen()
+		applied := 0
+		for burst := 0; burst < 8; burst++ {
+			applied += structuralBurst(rng, tr, a, rng.Intn(5), 12)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("seed %d burst %d: arena invalid: %v", seed, burst, err)
+			}
+		}
+		if applied < 40 {
+			t.Fatalf("seed %d: only %d ops applied; generator too narrow", seed, applied)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: tree invalid after bursts: %v", seed, err)
+		}
+		want := map[int]bool{}
+		for _, id := range tr.TouchedSince(gen0) {
+			want[id] = true
+		}
+		got := map[int]bool{}
+		for _, id := range a.DirtyIDs() {
+			got[id] = true
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: dirty sets differ:\n tree  %v\n arena %v", seed, want, got)
+		}
+		back, err := a.ToTree()
+		if err != nil {
+			t.Fatalf("seed %d: ToTree: %v", seed, err)
+		}
+		if back.NumNodes() != tr.NumNodes() {
+			t.Fatalf("seed %d: round-trip lost nodes: %d vs %d", seed, back.NumNodes(), tr.NumNodes())
+		}
+	}
+}
+
 func TestArenaPropertyRandomMutations(t *testing.T) {
 	tk := tech.Default45()
 	corner := tech.Corner{Name: "stress", Vdd: 1.05, RDerate: 1.12, CDerate: 0.94}

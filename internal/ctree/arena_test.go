@@ -210,3 +210,36 @@ func TestBitset(t *testing.T) {
 		t.Fatal("Reset left bits set")
 	}
 }
+
+// A splice (or slide) over a corridor of zero-length edges — stacked
+// buffer chains produce them — must not let Simplify collapse the joined
+// route to a single point: every live edge keeps a 2-point route.
+func TestRemoveDegree2ZeroLengthEdges(t *testing.T) {
+	p := geom.Pt(50, 50)
+	tr := New(tech.Default45(), geom.Pt(0, 0), 0.05)
+	hub := tr.AddChild(tr.Root, Internal, p)
+	mid := tr.AddChild(hub, Internal, p)
+	buf := tr.AddChild(mid, Buffer, p)
+	buf.Buf = &tech.Composite{Type: tr.Tech.Inverters[1], N: 2}
+	tr.AddSink(buf, geom.Pt(60, 50), 9, "s")
+	a := FromTree(tr)
+
+	tr.SlideDegree2(mid, 0)
+	a.SlideDegree2(int32(mid.ID), 0)
+	tr.RemoveDegree2(mid)
+	a.RemoveDegree2(int32(mid.ID))
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree after zero-length splice: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("arena after zero-length splice: %v", err)
+	}
+	if len(buf.Route) < 2 {
+		t.Fatalf("spliced child route collapsed: %v", buf.Route)
+	}
+	back, err := a.ToTree()
+	if err != nil {
+		t.Fatalf("ToTree: %v", err)
+	}
+	treesEqual(t, tr, back)
+}

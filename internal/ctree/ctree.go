@@ -219,6 +219,11 @@ func (tr *Tree) SlideDegree2(n *Node, newDist float64) {
 	child := n.Children[0]
 	joined := append(append(geom.Polyline(nil), n.Route...), child.Route...)
 	joined = joined.Simplify()
+	if len(joined) < 2 {
+		// A fully zero-length corridor collapses to one point under
+		// Simplify; keep the 2-point route invariant.
+		joined = geom.Polyline{n.Parent.Loc, child.Loc}
+	}
 	totalSnake := n.Snake + child.Snake
 	total := joined.Length()
 	if newDist < 0 {
@@ -250,7 +255,13 @@ func (tr *Tree) RemoveDegree2(n *Node) {
 	}
 	child := n.Children[0]
 	joined := append(append(geom.Polyline(nil), n.Route...), child.Route...)
-	child.Route = joined.Simplify()
+	joined = joined.Simplify()
+	if len(joined) < 2 {
+		// Both edges were zero-length (stacked nodes), so Simplify collapsed
+		// the join to a single point; every live edge keeps a 2-point route.
+		joined = geom.Polyline{n.Parent.Loc, child.Loc}
+	}
+	child.Route = joined
 	child.Snake += n.Snake
 	child.Parent = n.Parent
 	for i, c := range n.Parent.Children {

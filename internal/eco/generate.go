@@ -1,0 +1,78 @@
+package eco
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contango/internal/bench"
+)
+
+// Generate produces a deterministic perturbation of a benchmark: a delta
+// touching ~frac of its sinks, split 80% moves / 10% adds / 10% removes
+// (at least one move). Moves displace a sink by up to 2% of the die span
+// in each axis, clamped to the die; added sinks land near a random
+// existing sink with its load. The same (benchmark, frac, seed) always
+// yields the same delta — the benchgen -eco-perturb path and the ECO
+// benchmarks both rely on that.
+func Generate(b *bench.Benchmark, frac float64, seed int64) (*Delta, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("eco: perturbation fraction must be in (0,1], got %g", frac)
+	}
+	n := len(b.Sinks)
+	if n == 0 {
+		return nil, fmt.Errorf("eco: benchmark %s has no sinks to perturb", b.Name)
+	}
+	budget := int(frac*float64(n) + 0.5)
+	if budget < 1 {
+		budget = 1
+	}
+	adds := budget / 10
+	removes := budget / 10
+	if removes >= n { // never empty the benchmark
+		removes = n - 1
+	}
+	moves := budget - adds - removes
+	if moves < 1 {
+		moves = 1
+	}
+	if moves > n-removes {
+		moves = n - removes
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n) // disjoint victim pool: first `removes` go, next `moves` shift
+	taken := make(map[string]bool, n)
+	for _, s := range b.Sinks {
+		taken[s.Name] = true
+	}
+	dx := 0.02 * b.Die.W()
+	dy := 0.02 * b.Die.H()
+
+	d := &Delta{}
+	for _, i := range perm[:removes] {
+		d.Removed = append(d.Removed, b.Sinks[i].Name)
+	}
+	for _, i := range perm[removes : removes+moves] {
+		s := b.Sinks[i]
+		loc := s.Loc
+		loc.X += (rng.Float64()*2 - 1) * dx
+		loc.Y += (rng.Float64()*2 - 1) * dy
+		d.Moved = append(d.Moved, SinkMove{Name: s.Name, Loc: loc.Clamp(b.Die)})
+	}
+	next := 0
+	for k := 0; k < adds; k++ {
+		name := fmt.Sprintf("eco%d", next)
+		for taken[name] {
+			next++
+			name = fmt.Sprintf("eco%d", next)
+		}
+		next++
+		near := b.Sinks[rng.Intn(n)]
+		loc := near.Loc
+		loc.X += (rng.Float64()*2 - 1) * dx
+		loc.Y += (rng.Float64()*2 - 1) * dy
+		d.Added = append(d.Added, SinkAdd{Name: name, Loc: loc.Clamp(b.Die), Cap: near.Cap})
+	}
+	d.canon()
+	return d, nil
+}

@@ -1,0 +1,90 @@
+package eco
+
+// White-box coverage of the edge index: the cell-coordinate loops must
+// survive the top row/column of a full 256-cell grid (cell coordinate 255
+// is the uint8 maximum — iterating cellRange bounds in their storage type
+// wraps 255 -> 0 and never terminates; the loops widen to int for exactly
+// this reason), and repeated identical queries must return identical
+// targets.
+
+import (
+	"testing"
+
+	"contango/internal/ctree"
+	"contango/internal/geom"
+	"contango/internal/tech"
+)
+
+// cornerArena builds a tiny tree whose one edge reaches the far corner of
+// the die, so its bucketed cell rectangle ends at the maximum cell index.
+func cornerArena(tk *tech.Tech, die geom.Rect) (*ctree.Arena, int32) {
+	tr := ctree.New(tk, geom.Pt(die.MinX, die.MinY), 0.1)
+	s := tr.AddSink(tr.Root, geom.Pt(die.MaxX, die.MaxY), 20, "corner")
+	return ctree.FromTree(tr), int32(s.ID)
+}
+
+func TestEdgeIndexMaxCellTerminates(t *testing.T) {
+	tk := tech.Default45()
+	die := geom.NewRect(0, 0, 256, 256)
+	a, slot := cornerArena(tk, die)
+
+	// Force the maximum grid so the corner edge's range ends at cell 255
+	// (newEdgeIndex only picks g=256 past ~65k slots; the wrap hazard is
+	// identical at any size, so pin the geometry directly).
+	idx := &edgeIndex{die: die, g: 256, cw: 1, ch: 1, icw: 1, ich: 1,
+		start: make([]int32, 256*256+1), stamp: make([]int32, a.Len())}
+
+	r := idx.rangeOf(a, slot)
+	if r.i1 != 255 || r.j1 != 255 {
+		t.Fatalf("corner edge range = %+v, want i1=j1=255", r)
+	}
+	idx.insert(a, slot) // hung forever when the loops iterated in uint8
+	if got := len(idx.extra[255*256+255]); got != 1 {
+		t.Fatalf("corner cell holds %d entries, want 1", got)
+	}
+
+	// The query must see the overflow-layer edge from the far corner.
+	target := idx.attachTarget(a, geom.Pt(255.5, 255.5), nil)
+	if target < 0 {
+		t.Fatalf("attachTarget found nothing, want a live slot")
+	}
+}
+
+func TestNewEdgeIndexCoversCornerEdge(t *testing.T) {
+	tk := tech.Default45()
+	die := geom.NewRect(0, 0, 4000, 4000)
+	a, slot := cornerArena(tk, die)
+	idx := newEdgeIndex(a, die)
+	c := (idx.g-1)*idx.g + (idx.g - 1) // top-right cell
+	found := false
+	for _, n := range idx.flat[idx.start[c]:idx.start[c+1]] {
+		if n == slot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corner edge %d not bucketed into the far corner cell", slot)
+	}
+}
+
+func TestAttachTargetDeterministic(t *testing.T) {
+	tk := tech.Default45()
+	tr := ctree.New(tk, geom.Pt(0, 0), 0.1)
+	for i := 0; i < 5; i++ {
+		tr.AddSink(tr.Root, geom.Pt(100+float64(i)*200, 300), 20, "")
+	}
+	die := geom.NewRect(0, 0, 1200, 600)
+	q := geom.Pt(430, 180)
+	a1 := ctree.FromTree(tr)
+	a2 := ctree.FromTree(tr)
+	t1 := newEdgeIndex(a1, die).attachTarget(a1, q, nil)
+	t2 := newEdgeIndex(a2, die).attachTarget(a2, q, nil)
+	if t1 != t2 {
+		t.Fatalf("attachTarget diverged on identical arenas: %d vs %d", t1, t2)
+	}
+	// Re-querying the same (mutated) arena is deterministic too: the
+	// stamp epoch dedups visits but never changes which candidate wins.
+	if t3 := newEdgeIndex(a1, die).attachTarget(a1, q, nil); t3 != t1 {
+		t.Fatalf("repeat query diverged: %d vs %d", t3, t1)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"contango/internal/analysis"
 	"contango/internal/corners"
+	"contango/internal/eco"
 	"contango/internal/opt"
 	"contango/internal/spice"
 	"contango/internal/tech"
@@ -45,6 +46,16 @@ type Options struct {
 	// installed on a clone of Tech during Resolve, so a shared technology
 	// model is never mutated.
 	Corners string
+	// ECO, when non-nil, supplies the base tree and delta the "eco"
+	// construction pass replays instead of building from scratch: the pass
+	// restores the base run's synthesized tree into an arena, applies the
+	// delta with locality-scoped repair, and hands the result to the
+	// tuning cascade. The benchmark submitted alongside must be the
+	// delta-perturbed one (eco.Delta.Perturb), so sink sets agree. ECO
+	// shapes results, and the service keys it by base key + delta
+	// fingerprint — appended to the fingerprint only when set, so default
+	// keys stay byte-identical.
+	ECO *eco.Spec
 	// SkipStages disables individual optional stages by canonical name
 	// ("tbsz", "twsz", "twsn", "bwsn") for ablations, whatever plan runs.
 	SkipStages map[string]bool

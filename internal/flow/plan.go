@@ -102,7 +102,7 @@ func (p Plan) String() string {
 const DefaultPlanName = "paper"
 
 // builtinOrder lists the built-in plan names in documentation order.
-var builtinOrder = []string{"paper", "fast", "wire-only", "tune-only", "no-cycles"}
+var builtinOrder = []string{"paper", "fast", "wire-only", "tune-only", "no-cycles", "eco"}
 
 // builtinSpecs maps built-in plan names to their full specs. The unpinned
 // cycle group ("cycle(...)" without an xN suffix) takes its budget from
@@ -118,6 +118,10 @@ var builtinSpecs = map[string]string{
 	"tune-only": "zst,legalize,buffer,polarity,tbsz,bwsn",
 	// The full cascade without the convergence feedback loop.
 	"no-cycles": "zst,legalize,buffer,polarity,tbsz,twsz,twsn,bwsn",
+	// Incremental re-synthesis: restore a finished base tree, replay an
+	// ECO delta with locality-scoped repair, then run a short tuning
+	// cascade (construction — the cost of a full run — is skipped).
+	"eco": "eco,twsz:2,twsn:2,bwsn:2",
 }
 
 // PlanNames lists the built-in plan names in documentation order.
@@ -138,6 +142,9 @@ func BuiltinSpec(name string) (string, bool) {
 // can type just the optimization cascade ("tbsz:2,cycle(twsz,twsn)x2").
 var constructionPasses = map[string]bool{
 	"zst": true, "legalize": true, "buffer": true, "polarity": true,
+	// "eco" replaces the whole construction prelude: it restores an
+	// already-built tree, so prepending zst before it would be wrong.
+	"eco": true,
 }
 
 func preludeSteps() []Step {

@@ -30,9 +30,9 @@ func LegalizeArena(a *ctree.Arena, obs *geom.ObstacleSet, die geom.Rect, opt Opt
 	}
 	maze := geom.NewMaze(die, opt.MazeStep, obs)
 
-	// Pass 1: cheap L-shape flips everywhere.
+	// Pass 1: cheap L-shape flips everywhere (in scope).
 	a.PreOrder(func(n int32) {
-		if a.Parent[n] < 0 || a.RouteLen[n] > 3 {
+		if a.Parent[n] < 0 || a.RouteLen[n] > 3 || !opt.inScope(n) {
 			return // only direct connections have a free alternate L
 		}
 		route := a.Route(n)
@@ -65,7 +65,7 @@ func LegalizeArena(a *ctree.Arena, obs *geom.ObstacleSet, die geom.Rect, opt Opt
 		changed := false
 		var bad []int32
 		a.PreOrder(func(n int32) {
-			if a.Parent[n] < 0 || !crossesAny(obs, a.Route(n)) {
+			if a.Parent[n] < 0 || !opt.inScope(n) || !crossesAny(obs, a.Route(n)) {
 				return
 			}
 			if a.LoadCap(n) > opt.SafeCap {
@@ -124,7 +124,7 @@ func detourCompoundArena(a *ctree.Arena, obs *geom.ObstacleSet, ci int, die geom
 	// Topmost captured nodes: captured with a non-captured parent.
 	var tops []int32
 	a.PreOrder(func(n int32) {
-		if a.Parent[n] >= 0 && captured(n) && !captured(a.Parent[n]) {
+		if a.Parent[n] >= 0 && opt.inScope(n) && captured(n) && !captured(a.Parent[n]) {
 			tops = append(tops, n)
 		}
 	})

@@ -36,7 +36,18 @@ type Options struct {
 	// MaxPasses bounds the repair iterations (reroutes can graze other
 	// obstacles); 0 means 3.
 	MaxPasses int
+	// Scope, when non-nil, restricts LegalizeArena's repairs to the given
+	// slots (ECO mode passes the dirty subtrees of a delta application, so
+	// an incremental run never re-touches the legalized remainder of the
+	// tree). Nodes outside the scope keep their routes verbatim; the
+	// remaining-crossing count still reflects the whole tree. Only the
+	// arena path honors it — pointer-tree Legalize always runs whole-tree.
+	Scope map[int32]bool
 }
+
+// inScope reports whether a slot may be repaired under the options' scope
+// (every slot is, when no scope is set).
+func (o Options) inScope(n int32) bool { return o.Scope == nil || o.Scope[n] }
 
 // Report summarizes what the legalizer did.
 type Report struct {

@@ -73,6 +73,10 @@ func DefaultPriors() Priors {
 			"paper":     {Base: 0.10, PerSinkCorner: 0.0245},
 			"fast":      {Base: 0.08, PerSinkCorner: 0.0190},
 			"wire-only": {Base: 0.10, PerSinkCorner: 0.0232},
+			// ECO re-synthesis skips construction and runs a short tuning
+			// cascade on the restored tree, so its per-sink cost is a
+			// fraction of any full flow's.
+			"eco": {Base: 0.05, PerSinkCorner: 0.0050},
 		},
 		Default: Prior{Base: 0.10, PerSinkCorner: 0.0220},
 	}

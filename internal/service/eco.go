@@ -1,0 +1,96 @@
+// ECO submission: incremental re-synthesis of a finished base result
+// under a sink-level delta. The service loads the base run's tree from
+// its result cache (memory or disk tier), perturbs the base benchmark
+// with the delta, and submits a normal job whose options carry the eco
+// spec — so coalescing, caching, durability and scheduling all apply to
+// ECO jobs unchanged. The content key extends the base fingerprint with
+// base-key + delta-fingerprint, so the same (base, delta) pair is served
+// from cache like any repeated submission.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"contango/internal/core"
+	"contango/internal/eco"
+)
+
+// SubmitECO enqueues an incremental re-synthesis run: the finished result
+// under baseKey is restored, deltaText (eco wire form) is replayed against
+// its tree with locality-scoped repair, and the tuning cascade of o.Plan
+// (default: the built-in "eco" plan) runs on the repaired tree. The
+// returned job's benchmark is the delta-perturbed base benchmark.
+func (s *Service) SubmitECO(baseKey, deltaText string, o core.Options, so SubmitOpts) (*Job, error) {
+	d, err := eco.ParseDelta(strings.NewReader(deltaText))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if d.Empty() {
+		return nil, fmt.Errorf("service: eco delta is empty (nothing to re-synthesize)")
+	}
+	base, err := s.lookupResult(baseKey)
+	if err != nil {
+		return nil, err
+	}
+	perturbed, err := d.Perturb(base.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if o.Plan == "" {
+		o.Plan = "eco"
+	}
+	o.ECO = &eco.Spec{
+		BaseKey:     baseKey,
+		Delta:       d,
+		Base:        base.Tree,
+		Composite:   base.Composite,
+		BaseElapsed: base.Elapsed,
+	}
+	return s.SubmitWith(perturbed, o, so)
+}
+
+// lookupResult fetches a finished result by content key from the cache
+// (memory tier, then disk on a durable service).
+func (s *Service) lookupResult(key string) (*core.Result, error) {
+	if s.cache != nil {
+		if res, _, ok := s.cache.Get(key); ok {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("service: no finished result under key %s (run the base synthesis first)", shortKey(key))
+}
+
+// hydrateECO fills a recovered ECO spec's base tree from the store. Job
+// specs persist only the base key and the delta (enough to round-trip the
+// content key); the tree itself is re-read from the base result artifact.
+func (s *Service) hydrateECO(o *core.Options) error {
+	if o.ECO == nil || o.ECO.Base != nil {
+		return nil
+	}
+	base, err := s.lookupResult(o.ECO.BaseKey)
+	if err != nil {
+		return err
+	}
+	o.ECO.Base = base.Tree
+	o.ECO.Composite = base.Composite
+	o.ECO.BaseElapsed = base.Elapsed
+	return nil
+}
+
+// ecoOutcome records an ECO job's terminal outcome on the
+// contango_eco_jobs_total counter, plus the full-vs-ECO speedup for
+// successful runs whose base carried a wall time.
+func (s *Service) ecoOutcome(j *Job, outcome string) {
+	spec := j.opts.ECO
+	if spec == nil {
+		return
+	}
+	s.metrics.ecoJobs.With(outcome).Inc()
+	if outcome != "done" || spec.BaseElapsed <= 0 {
+		return
+	}
+	if elapsed := j.Elapsed(); elapsed > 0 {
+		s.metrics.ecoSpeedup.Observe(spec.BaseElapsed.Seconds() / elapsed.Seconds())
+	}
+}

@@ -22,6 +22,7 @@ import (
 //	POST   /api/v1/jobs          submit one job (SubmitRequest) -> JobWire
 //	GET    /api/v1/jobs          list jobs -> []JobWire
 //	POST   /api/v1/batches       submit a batch (BatchRequest) -> {jobs: []JobWire}
+//	POST   /api/v1/eco           incremental re-synthesis (ECORequest) -> JobWire
 //	GET    /api/v1/jobs/{id}         job status -> JobWire
 //	DELETE /api/v1/jobs/{id}         cancel -> JobWire
 //	GET    /api/v1/jobs/{id}/result  finished result -> ResultWire
@@ -47,6 +48,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("/api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/api/v1/batches", s.handleBatches)
+	s.mux.HandleFunc("/api/v1/eco", s.handleECO)
 	s.mux.HandleFunc("/api/v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("/api/v1/corners", s.handleCorners)
 	s.mux.HandleFunc("/api/v1/queue", s.handleQueue)
@@ -137,6 +139,37 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeError(w, submitErrCode(err), "%v", err)
+}
+
+// handleECO submits an incremental re-synthesis run: the base result is
+// looked up by content key, the delta replayed against its tree, and the
+// short tuning cascade run on the repaired tree. An unknown base key is a
+// 404 — the caller must run (or re-run) the base synthesis first.
+func (s *Server) handleECO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req ECORequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Base == "" || req.Delta == "" {
+		writeError(w, http.StatusBadRequest, "eco request needs base (result key) and delta")
+		return
+	}
+	j, err := s.svc.SubmitECO(req.Base, req.Delta, req.Options.Options(),
+		SubmitOpts{Deadline: req.Options.Deadline()})
+	if err != nil {
+		if strings.Contains(err.Error(), "no finished result under key") {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Wire())
 }
 
 func resolveBench(req SubmitRequest) (*bench.Benchmark, error) {

@@ -109,6 +109,12 @@ func OptionsFingerprint(o core.Options) string {
 	}
 	sort.Strings(skips)
 	fmt.Fprintf(&b, ";skip=%s", strings.Join(skips, ","))
+	// ECO runs extend the key with the base result's key and the delta's
+	// content address, appended only when set: every non-ECO fingerprint —
+	// and therefore every existing cache key — stays byte-identical.
+	if r.ECO != nil {
+		fmt.Fprintf(&b, ";eco=%s", r.ECO.Fingerprint())
+	}
 	return b.String()
 }
 

@@ -45,6 +45,9 @@ type serviceMetrics struct {
 	passDur *obs.HistogramVec // pass
 	evalDur *obs.Histogram
 
+	ecoJobs    *obs.CounterVec // outcome: cache_hit | done | failed | canceled
+	ecoSpeedup *obs.Histogram  // base wall time over eco wall time
+
 	// Packing-scheduler families (registered under both disciplines so
 	// the exposition is stable; only the pack scheduler moves most of them).
 	estRatio  *obs.Histogram    // actual/predicted runtime
@@ -102,6 +105,12 @@ func newServiceMetrics(reg *obs.Registry, s *Service) *serviceMetrics {
 		evalDur: reg.Histogram("contango_corner_eval_seconds",
 			"Wall-clock duration of arming the accurate evaluator (the first full multi-corner evaluation).",
 			passDurationBuckets),
+
+		ecoJobs: reg.CounterVec("contango_eco_jobs_total",
+			"ECO re-synthesis submissions reaching a terminal state, by outcome.", "outcome"),
+		ecoSpeedup: reg.Histogram("contango_eco_speedup",
+			"Base-run wall time over ECO wall time for successful ECO jobs (>1 = the incremental path was faster).",
+			obs.ExpBuckets(0.5, 2, 12)),
 
 		estRatio: reg.Histogram("contango_sched_estimate_ratio",
 			"Actual over predicted runtime of executed jobs (1.0 = the cost model was exact).",

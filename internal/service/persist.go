@@ -152,7 +152,15 @@ func (s *Service) recoverJournal(recs []store.Record) {
 			s.logf("recovery: job %s: bad benchmark: %v", shortKey(r.Key), err)
 			continue
 		}
-		j, err := s.SubmitWith(b, spec.Options.Options(), SubmitOpts{Deadline: spec.Options.Deadline()})
+		o := spec.Options.Options()
+		// A recovered ECO job's spec holds only the base key and delta; the
+		// base tree re-hydrates from the base run's result artifact. A base
+		// evicted from the store since the crash is a skip, not a failure.
+		if err := s.hydrateECO(&o); err != nil {
+			s.logf("recovery: job %s: eco base unavailable: %v", shortKey(r.Key), err)
+			continue
+		}
+		j, err := s.SubmitWith(b, o, SubmitOpts{Deadline: spec.Options.Deadline()})
 		if err != nil {
 			s.logf("recovery: job %s: resubmission failed: %v", shortKey(r.Key), err)
 			continue
@@ -256,6 +264,13 @@ func optionsToWire(o core.Options) OptionsWire {
 		}
 	}
 	sort.Strings(w.SkipStages)
+	if o.ECO != nil && o.ECO.Delta != nil {
+		// The spec carries only the key material (base key + canonical
+		// delta text): enough to round-trip the content key, and the
+		// recovery path re-hydrates the base tree from its result artifact.
+		w.ECOBase = o.ECO.BaseKey
+		w.ECODelta = o.ECO.Delta.String()
+	}
 	return w
 }
 

